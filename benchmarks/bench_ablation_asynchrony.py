@@ -1,0 +1,54 @@
+"""Ablation (beyond the paper's figures): the cost of asynchrony (§2.3).
+
+The paper motivates synchronous training by the statistical-efficiency loss of
+asynchronous SGD's stale gradients.  This benchmark runs the A-SGD model on a
+noisy quadratic objective with increasing expected staleness and reports the
+distance to the optimum after a fixed update budget: staleness should hurt
+monotonically, and the zero-staleness case should match plain SGD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim import ASGD, StalenessModel
+from repro.utils.rng import RandomState
+
+
+def _run_asgd_sweep(staleness_levels=(0.0, 4.0, 16.0), updates=120, dimensions=16):
+    target = np.full(dimensions, 2.5, dtype=np.float32)
+    rows = []
+    for level in staleness_levels:
+        asgd = ASGD(
+            np.zeros(dimensions, dtype=np.float32),
+            num_workers=8,
+            learning_rate=0.15,
+            staleness=StalenessModel(8, expected_staleness=level, jitter=0.0),
+            seed=3,
+        )
+        noise = RandomState(9, name=f"asgd-{level}")
+        for _ in range(updates):
+            snapshot = asgd.snapshot_for_worker()
+            gradient = (snapshot - target) + noise.normal(scale=0.1, size=dimensions).astype(
+                np.float32
+            )
+            asgd.apply_gradient(gradient)
+        rows.append(
+            {
+                "expected_staleness": level,
+                "observed_staleness": round(asgd.mean_observed_staleness(), 2),
+                "distance_to_optimum": round(float(np.linalg.norm(asgd.center - target)), 4),
+                "updates": updates,
+            }
+        )
+    return rows
+
+
+def test_ablation_asynchrony_staleness(benchmark, report):
+    rows = benchmark.pedantic(_run_asgd_sweep, rounds=1, iterations=1)
+    report("ablation_asynchrony", rows)
+
+    by_level = {row["expected_staleness"]: row["distance_to_optimum"] for row in rows}
+    # Stale gradients slow convergence monotonically (the §2.3 argument for
+    # synchronous training).
+    assert by_level[0.0] <= by_level[4.0] <= by_level[16.0]

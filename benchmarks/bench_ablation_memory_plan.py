@@ -1,0 +1,29 @@
+"""Ablation (beyond the paper's figures): operator output-buffer reuse (§4.5).
+
+Compares the naive one-buffer-per-operator allocation, the offline
+reference-counted reuse plan and the online plan that shares buffer pools
+across learners on the same GPU.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_ablation_memory_plan
+
+
+def test_ablation_memory_plan(benchmark, report):
+    rows = benchmark.pedantic(
+        run_ablation_memory_plan,
+        kwargs={"model_name": "resnet32-scaled", "batch_size": 16, "learners": (1, 2, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_memory_plan", rows)
+
+    by_key = {(row["plan"], row["learners"]): row for row in rows}
+    naive = by_key[("naive", 1)]["peak_mb"]
+    offline = by_key[("offline-reuse", 1)]["peak_mb"]
+    # The offline plan should cut the footprint substantially (paper: up to 50%).
+    assert offline < 0.6 * naive
+    # Sharing pools across 4 learners must be cheaper than replicating naively.
+    shared4 = by_key[("online-shared", 4)]
+    assert shared4["peak_mb"] < shared4["vs_replicated_naive_mb"]

@@ -1,0 +1,34 @@
+"""Figure 2: hardware efficiency of parallel S-SGD.
+
+Speed-up with an increasing number of GPUs when training ResNet-32, for several
+aggregate batch sizes.  Expected shape (paper): with a fixed aggregate batch
+(e.g. 64) the per-GPU batch shrinks and the speed-up is clearly sub-linear;
+keeping the per-GPU batch constant (aggregate 512/1024 on 8 GPUs) gives a
+near-linear speed-up.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig2_hardware_efficiency
+
+
+def test_fig2_hardware_efficiency(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fig2_hardware_efficiency,
+        kwargs={
+            "gpu_counts": (1, 2, 4, 8),
+            "aggregate_batch_sizes": (64, 128, 256, 512, 1024),
+            "iterations": 40,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report("fig02_hw_efficiency", rows)
+
+    by_key = {(r["aggregate_batch"], r["gpus"]): r["speedup_vs_1gpu"] for r in rows}
+    # Fixed small aggregate batch scales poorly on 8 GPUs...
+    assert by_key[(64, 8)] < 5.0
+    # ...while a constant per-GPU batch (1024/8 = 128) scales near-linearly.
+    assert by_key[(1024, 8)] > 6.0
+    # Speed-up is monotone in the aggregate batch at 8 GPUs.
+    assert by_key[(64, 8)] <= by_key[(256, 8)] <= by_key[(1024, 8)]

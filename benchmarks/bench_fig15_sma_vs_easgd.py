@@ -1,0 +1,35 @@
+"""Figure 15: SMA compared with EA-SGD synchronisation inside Crossbow.
+
+Expected shape (paper): SMA reaches the accuracy target in no more time than
+EA-SGD, and the gap widens with more learners (more GPUs), because the momentum
+term keeps the central average model moving when many replicas reduce its
+variance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig15_sma_vs_easgd
+
+
+def test_fig15_sma_vs_easgd(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fig15_sma_vs_easgd,
+        kwargs={"model": "resnet32", "gpu_counts": (1, 8), "replicas_per_gpu": 2, "max_epochs": 10},
+        rounds=1,
+        iterations=1,
+    )
+    report("fig15_sma_vs_easgd", rows)
+
+    def lookup(gpus, sync):
+        for row in rows:
+            if row["gpus"] == gpus and row["synchronisation"] == sync:
+                return row
+        raise AssertionError("missing row")
+
+    for gpus in (1, 8):
+        sma = lookup(gpus, "sma")
+        easgd = lookup(gpus, "easgd")
+        # Both must actually train; SMA's best accuracy should not lag EA-SGD's badly.
+        assert sma["best_accuracy"] >= easgd["best_accuracy"] - 0.05
+        if sma["tta_seconds"] is not None and easgd["tta_seconds"] is not None:
+            assert sma["tta_seconds"] <= easgd["tta_seconds"] * 1.2

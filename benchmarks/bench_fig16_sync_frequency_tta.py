@@ -1,0 +1,33 @@
+"""Figure 16: effect of the synchronisation frequency τ on time-to-accuracy.
+
+Crossbow synchronises replicas with the average model every iteration (τ=1).
+Expected shape (paper): raising τ buys a little extra throughput but hurts
+convergence, so TTA is minimised at τ=1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig16_sync_frequency
+
+
+def test_fig16_sync_frequency(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fig16_sync_frequency,
+        kwargs={
+            "model": "resnet32",
+            "num_gpus": 8,
+            "replicas_per_gpu": 2,
+            "periods": (1, 2, 4),
+            "max_epochs": 10,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report("fig16_sync_frequency_tta", rows)
+
+    by_tau = {row["tau"]: row for row in rows}
+    # Throughput is monotone (weakly) in τ: synchronising less often cannot slow us down.
+    assert by_tau[4]["throughput_img_s"] >= by_tau[1]["throughput_img_s"] * 0.99
+    # Statistical efficiency: τ=1 should reach the best accuracy of the sweep.
+    best_acc = max(row["best_accuracy"] for row in rows)
+    assert by_tau[1]["best_accuracy"] >= best_acc - 0.05

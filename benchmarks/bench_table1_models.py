@@ -1,0 +1,28 @@
+"""Table 1: deep-learning benchmark models and datasets used in the paper.
+
+Regenerates the per-model inventory (operator count, model size in MB).  The
+model sizes should match the paper closely (1.79 MB for ResNet-32, 57.37 MB for
+VGG-16, 97.49 MB for ResNet-50); the operator counts differ in absolute value
+because the paper counts low-level kernels while we count layer-level operators,
+but the ordering across models is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1_model_inventory
+
+
+def test_table1_model_inventory(benchmark, report):
+    rows = benchmark.pedantic(run_table1_model_inventory, rounds=1, iterations=1)
+    report("table1_model_inventory", rows)
+
+    by_model = {row["model"]: row for row in rows}
+    assert abs(by_model["resnet32"]["model_size_mb"] - 1.79) < 0.2
+    assert abs(by_model["vgg16"]["model_size_mb"] - 57.37) < 2.0
+    assert abs(by_model["resnet50"]["model_size_mb"] - 97.49) < 3.0
+    assert (
+        by_model["lenet"]["num_operators"]
+        < by_model["vgg16"]["num_operators"]
+        < by_model["resnet32"]["num_operators"]
+        < by_model["resnet50"]["num_operators"]
+    )

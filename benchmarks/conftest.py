@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(§5).  The rows are printed (run pytest with ``-s`` to see them) and persisted
+as CSV under ``benchmarks/results/`` so they can be compared against the paper
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+import pytest
+
+from repro.experiments import format_table, save_rows
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir) -> Callable[[str, Sequence[Dict[str, object]]], None]:
+    """Print a figure's rows and persist them as CSV."""
+
+    def _report(name: str, rows: Sequence[Dict[str, object]]) -> None:
+        rows = list(rows)
+        print(f"\n=== {name} ===")
+        print(format_table(rows))
+        save_rows(rows, results_dir / f"{name}.csv")
+
+    return _report

@@ -1,0 +1,4 @@
+"""Setuptools entry point (kept for environments without the wheel package)."""
+from setuptools import setup
+
+setup()

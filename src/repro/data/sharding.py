@@ -1,0 +1,61 @@
+"""Batch partitioning helpers.
+
+Parallel S-SGD partitions every batch equally across GPUs (§2.3); Crossbow
+instead assigns complete batches to learners on a first-come-first-served
+basis (§4.3).  Both policies live here so the trainers share one tested
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.errors import DataError
+
+
+def partition_batch(batch: Batch, num_partitions: int) -> List[Batch]:
+    """Split ``batch`` into ``num_partitions`` near-equal shards (S-SGD style).
+
+    The first ``batch.size % num_partitions`` shards receive one extra sample,
+    so no sample is dropped and shard sizes differ by at most one.
+    """
+    if num_partitions < 1:
+        raise DataError("cannot partition a batch into fewer than 1 shard")
+    if batch.size < num_partitions:
+        raise DataError(
+            f"batch of {batch.size} samples cannot be split across {num_partitions} partitions"
+        )
+    image_shards = np.array_split(batch.images, num_partitions)
+    label_shards = np.array_split(batch.labels, num_partitions)
+    return [
+        Batch(images=images, labels=labels, index=batch.index, epoch=batch.epoch)
+        for images, labels in zip(image_shards, label_shards)
+    ]
+
+
+def round_robin_assignment(num_items: int, num_workers: int) -> List[List[int]]:
+    """Assign item indices to workers in round-robin order (PyTorch/TF style)."""
+    if num_workers < 1:
+        raise DataError("need at least one worker")
+    assignment: List[List[int]] = [[] for _ in range(num_workers)]
+    for item in range(num_items):
+        assignment[item % num_workers].append(item)
+    return assignment
+
+
+def first_come_first_served_assignment(
+    num_items: int, availability_order: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Pair item indices with workers in the order the workers became available.
+
+    ``availability_order`` is a sequence of worker ids, one entry per time a
+    worker became free; items are matched to it positionally.  This mirrors the
+    task scheduler's first-come-first-served policy (§4.3).
+    """
+    pairs: List[Tuple[int, int]] = []
+    for item in range(min(num_items, len(availability_order))):
+        pairs.append((item, availability_order[item]))
+    return pairs

@@ -1,0 +1,66 @@
+"""The Crossbow task engine and the S-SGD baseline trainer.
+
+This package is the paper's primary contribution: the system that trains many
+small-batch model replicas per GPU and keeps them synchronised with SMA while
+hiding the synchronisation cost behind learning tasks.
+
+* :class:`~repro.engine.crossbow.CrossbowTrainer` — the full system: learners,
+  replica pools, FCFS task scheduler with overlap, hierarchical SMA
+  synchronisation, auto-tuned number of learners per GPU.
+* :class:`~repro.engine.baseline.SSGDTrainer` — the TensorFlow-style parallel
+  synchronous SGD baseline used throughout the evaluation.
+* :mod:`~repro.engine.metrics` — time-to-accuracy / epochs-to-accuracy
+  bookkeeping with the paper's median-of-last-five-epochs rule.
+"""
+
+from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
+from repro.engine.replica import ModelReplica, ReplicaPool
+from repro.engine.learner import Learner
+from repro.engine.tasks import GlobalSyncTask, LearningTask, LocalSyncTask, TaskKind
+from repro.engine.scheduler import IterationTiming, SchedulingPolicy, TaskScheduler
+from repro.engine.task_manager import TaskManager
+from repro.engine.autotuner import AutoTuner, AutoTunerDecision
+from repro.engine.memory_plan import (
+    MemoryPlan,
+    OperatorSpec,
+    naive_memory_plan,
+    offline_memory_plan,
+    online_shared_plan,
+    operator_specs_from_forward,
+)
+from repro.engine.dataflow import DataflowGraph, OperatorNode, trace_dataflow
+from repro.engine.config import CrossbowConfig, SSGDConfig
+from repro.engine.crossbow import CrossbowTrainer
+from repro.engine.baseline import SSGDTrainer
+
+__all__ = [
+    "EpochRecord",
+    "TrainingMetrics",
+    "TrainingResult",
+    "ModelReplica",
+    "ReplicaPool",
+    "Learner",
+    "TaskKind",
+    "LearningTask",
+    "LocalSyncTask",
+    "GlobalSyncTask",
+    "SchedulingPolicy",
+    "IterationTiming",
+    "TaskScheduler",
+    "TaskManager",
+    "AutoTuner",
+    "AutoTunerDecision",
+    "MemoryPlan",
+    "OperatorSpec",
+    "offline_memory_plan",
+    "naive_memory_plan",
+    "online_shared_plan",
+    "operator_specs_from_forward",
+    "DataflowGraph",
+    "OperatorNode",
+    "trace_dataflow",
+    "CrossbowConfig",
+    "SSGDConfig",
+    "CrossbowTrainer",
+    "SSGDTrainer",
+]

@@ -1,0 +1,102 @@
+"""Auto-tuning of the number of learners per GPU — Algorithm 2 of the paper.
+
+The auto-tuner watches the training throughput reported by the task manager.
+Starting from one learner per GPU, it adds a learner whenever the throughput
+increased by more than a tolerance threshold ``τ`` since the last observation,
+and removes one when the throughput decreased.  On a server with homogeneous
+GPUs one decision is applied to every GPU (§4.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class AutoTunerDecision(str, enum.Enum):
+    """Outcome of one auto-tuner observation."""
+
+    ADD_LEARNER = "add"
+    REMOVE_LEARNER = "remove"
+    KEEP = "keep"
+
+
+@dataclass
+class AutoTuner:
+    """Implements the throughput-driven adaptation of Algorithm 2.
+
+    Parameters
+    ----------
+    tolerance:
+        The threshold ``τ``: the *relative* throughput increase required to add
+        another learner.  The paper expresses τ as an absolute threshold; a
+        relative tolerance behaves identically for a fixed workload while being
+        batch-size independent, which the benches rely on.
+    max_learners:
+        Upper bound on learners per GPU (bounded by GPU memory in practice).
+    min_learners:
+        Lower bound (at least one learner must remain).
+    """
+
+    tolerance: float = 0.05
+    max_learners: int = 8
+    min_learners: int = 1
+    learners_per_gpu: int = 1
+    previous_throughput: float = 0.0
+    enabled: bool = True
+    history: List[AutoTunerDecision] = field(default_factory=list)
+    _last_decision: AutoTunerDecision = AutoTunerDecision.KEEP
+
+    def observe(self, throughput: float) -> AutoTunerDecision:
+        """Consume one throughput measurement and decide how to adapt.
+
+        Mirrors lines 4–8 of Algorithm 2: a significant increase adds a learner,
+        a decrease removes one, anything else keeps the current number.
+        """
+        if not self.enabled:
+            return AutoTunerDecision.KEEP
+
+        decision = AutoTunerDecision.KEEP
+        if self.previous_throughput <= 0.0:
+            # First observation: no baseline yet, try growing (the initial
+            # configuration is a single learner, which rarely saturates a GPU).
+            decision = (
+                AutoTunerDecision.ADD_LEARNER
+                if self.learners_per_gpu < self.max_learners
+                else AutoTunerDecision.KEEP
+            )
+        else:
+            gain = (throughput - self.previous_throughput) / self.previous_throughput
+            if gain > self.tolerance and self.learners_per_gpu < self.max_learners:
+                decision = AutoTunerDecision.ADD_LEARNER
+            elif gain < -self.tolerance and self.learners_per_gpu > self.min_learners:
+                decision = AutoTunerDecision.REMOVE_LEARNER
+            elif self._last_decision is AutoTunerDecision.ADD_LEARNER and gain <= self.tolerance:
+                # The last added learner did not pay off: back it out and settle.
+                decision = (
+                    AutoTunerDecision.REMOVE_LEARNER
+                    if self.learners_per_gpu > self.min_learners
+                    else AutoTunerDecision.KEEP
+                )
+
+        if decision is AutoTunerDecision.ADD_LEARNER:
+            self.learners_per_gpu += 1
+        elif decision is AutoTunerDecision.REMOVE_LEARNER:
+            self.learners_per_gpu -= 1
+
+        self.previous_throughput = throughput
+        self._last_decision = decision
+        self.history.append(decision)
+        return decision
+
+    def converged(self, stable_observations: int = 3) -> bool:
+        """True once the last ``stable_observations`` decisions were all KEEP."""
+        if len(self.history) < stable_observations:
+            return False
+        return all(d is AutoTunerDecision.KEEP for d in self.history[-stable_observations:])
+
+    def reset(self) -> None:
+        self.previous_throughput = 0.0
+        self.history.clear()
+        self._last_decision = AutoTunerDecision.KEEP

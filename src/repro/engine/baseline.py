@@ -1,0 +1,210 @@
+"""The TensorFlow-style parallel synchronous SGD baseline (§2.3, Figure 1).
+
+Every iteration partitions one aggregate batch equally across the GPUs, each
+GPU computes a partial gradient against the shared model, the partial gradients
+are averaged with an all-reduce, and the same aggregate gradient updates every
+replica before the next iteration starts.  Statistically this is exactly
+momentum SGD on the aggregate batch, so the numeric part trains a single model;
+the hardware part schedules the per-GPU gradient tasks, the all-reduce and the
+update tasks with a global barrier between iterations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data import AugmentationPipeline, BatchPipeline, create_dataset
+from repro.data.batching import Batch
+from repro.data.sharding import partition_batch
+from repro.engine.config import SSGDConfig
+from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
+from repro.engine.scheduler import SchedulingPolicy, TaskScheduler
+from repro.engine.task_manager import TaskManager
+from repro.models import create_model
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.metrics import accuracy
+from repro.optim.schedules import hyperparameters_for_model, schedule_for_model
+from repro.optim.sgd import SGD
+from repro.gpusim import Tracer, cost_profile_for_model, titan_x_server
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState
+
+logger = get_logger("engine.baseline")
+
+
+class SSGDTrainer:
+    """Parallel synchronous SGD across ``num_gpus`` GPUs (the paper's baseline)."""
+
+    def __init__(self, config: SSGDConfig) -> None:
+        self.config = config
+        self.rng = RandomState(config.seed, name="ssgd")
+
+        self.dataset = create_dataset(config.dataset_name, **config.dataset_overrides)
+        augmentation = (
+            AugmentationPipeline.cifar_default(self.rng.child("augmentation"))
+            if config.use_augmentation
+            else AugmentationPipeline.identity()
+        )
+        self.pipeline = BatchPipeline(
+            self.dataset,
+            batch_size=config.batch_size,
+            num_learners=config.num_gpus,
+            augmentation=augmentation,
+            rng=self.rng.child("pipeline"),
+        )
+
+        self.model = create_model(
+            config.model_name, rng=self.rng.child("model"), **config.model_overrides
+        )
+        hyper = hyperparameters_for_model(config.model_name)
+        self.learning_rate = (
+            config.learning_rate if config.learning_rate is not None else hyper["learning_rate"]
+        )
+        self.momentum = config.momentum if config.momentum is not None else hyper["momentum"]
+        self.weight_decay = (
+            config.weight_decay if config.weight_decay is not None else hyper["weight_decay"]
+        )
+        self.schedule = schedule_for_model(config.model_name, base_rate=self.learning_rate)
+        self.optimizer = SGD(
+            self.model,
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+        self.loss_fn = CrossEntropyLoss()
+
+        self.profile = cost_profile_for_model(config.model_name)
+        tracer = Tracer(enabled=config.trace_tasks)
+        self.server = titan_x_server(config.num_gpus, tracer=tracer)
+        # The baseline dispatches tasks round-robin with a barrier per iteration.
+        for gpu in self.server.gpus:
+            gpu.add_learner_stream()
+        self.scheduler = TaskScheduler(
+            server=self.server,
+            profile=self.profile,
+            policy=SchedulingPolicy.LOCKSTEP,
+            keep_task_records=config.trace_tasks,
+        )
+        self.task_manager = TaskManager()
+        self.metrics = TrainingMetrics()
+        self._iteration = 0
+        self._last_lr = self.schedule.rate(0.0)
+
+    # ------------------------------------------------------------------------ training loop
+    def train(self) -> TrainingResult:
+        config = self.config
+        started = time.perf_counter()
+        reached = False
+
+        for epoch in range(config.max_epochs):
+            self._apply_schedule(epoch)
+            train_loss = self._train_epoch(epoch)
+            test_accuracy = self.evaluate()
+            record = EpochRecord(
+                epoch=epoch,
+                sim_time=self.server.now(),
+                test_accuracy=test_accuracy,
+                train_loss=train_loss,
+                samples_processed=self.task_manager.total_samples,
+                learning_rate=self._last_lr,
+                replicas=config.num_gpus,
+            )
+            self.metrics.add(record)
+            logger.debug(
+                "epoch %d: loss=%.4f acc=%.4f sim_time=%.1fs",
+                epoch,
+                train_loss,
+                test_accuracy,
+                record.sim_time,
+            )
+            if (
+                config.target_accuracy is not None
+                and self.metrics.median_accuracy_at(len(self.metrics.records) - 1)
+                >= config.target_accuracy
+            ):
+                reached = True
+                break
+
+        return TrainingResult(
+            system="tensorflow-ssgd",
+            model_name=config.model_name,
+            dataset_name=config.dataset_name,
+            num_gpus=config.num_gpus,
+            replicas_per_gpu=1,
+            batch_size=config.batch_size,
+            metrics=self.metrics,
+            reached_target=reached,
+            target_accuracy=config.target_accuracy,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+    def _train_epoch(self, epoch: int) -> float:
+        losses: List[float] = []
+        for batch in self.pipeline.epoch_batches(epoch):
+            losses.append(self._run_iteration(batch))
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def _run_iteration(self, batch: Batch) -> float:
+        """One S-SGD iteration: partial gradients per GPU, average, update."""
+        shards = (
+            partition_batch(batch, self.config.num_gpus)
+            if self.config.num_gpus > 1
+            else [batch]
+        )
+        # Numerically, averaging per-shard mean gradients weighted by shard size
+        # equals the gradient of the whole aggregate batch.
+        self.model.train(True)
+        self.model.zero_grad()
+        total_loss = 0.0
+        accumulated: Optional[np.ndarray] = None
+        for shard in shards:
+            self.model.zero_grad()
+            logits = self.model(Tensor(shard.images))
+            loss = self.loss_fn(logits, shard.labels)
+            loss.backward()
+            shard_gradient = self.model.gradient_vector() * (shard.size / batch.size)
+            accumulated = shard_gradient if accumulated is None else accumulated + shard_gradient
+            total_loss += float(loss.data) * (shard.size / batch.size)
+
+        self._apply_gradient_vector(accumulated)
+
+        timing = self.scheduler.schedule_ssgd_iteration(
+            iteration=self._iteration,
+            batch_per_gpu=max(1, batch.size // self.config.num_gpus),
+        )
+        self.task_manager.handle_completion(timing, num_learning_tasks=self.config.num_gpus)
+        self._iteration += 1
+        return total_loss
+
+    def _apply_gradient_vector(self, gradient: np.ndarray) -> None:
+        """Scatter the aggregated gradient back onto the parameters and step."""
+        offset = 0
+        for param in self.model.parameters():
+            size = param.data.size
+            param.grad = gradient[offset : offset + size].reshape(param.data.shape).copy()
+            offset += size
+        self.optimizer.learning_rate = self._last_lr
+        self.optimizer.step()
+
+    def _apply_schedule(self, epoch: int) -> None:
+        self._last_lr = self.schedule.rate(float(epoch))
+
+    # ------------------------------------------------------------------------ evaluation
+    def evaluate(self, batch_size: int = 256) -> float:
+        self.model.eval()
+        correct = 0
+        total = 0
+        for batch in self.pipeline.test_batches(batch_size=batch_size):
+            with no_grad():
+                logits = self.model(Tensor(batch.images))
+            correct += int(round(accuracy(logits, batch.labels) * batch.size))
+            total += batch.size
+        self.model.train(True)
+        return correct / total if total else 0.0
+
+    def throughput(self) -> float:
+        return self.task_manager.cumulative_throughput()

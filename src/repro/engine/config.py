@@ -1,0 +1,92 @@
+"""Trainer configuration objects.
+
+A configuration fully describes one training run of either system.  The
+defaults follow the paper's experimental set-up (§5.1): hyper-parameters per
+model come from :mod:`repro.optim.schedules`, the server is the 8-GPU Titan X
+box, and Crossbow synchronises every iteration (τ = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class TrainerConfig:
+    """Options shared by both trainers."""
+
+    model_name: str = "resnet32-scaled"
+    dataset_name: str = "cifar10-scaled"
+    num_gpus: int = 1
+    batch_size: int = 32
+    learning_rate: Optional[float] = None  # None = the paper's value for this model
+    momentum: Optional[float] = None
+    weight_decay: Optional[float] = None
+    max_epochs: int = 20
+    target_accuracy: Optional[float] = None
+    seed: int = 7
+    evaluate_every_epochs: int = 1
+    use_augmentation: bool = False
+    dataset_overrides: Dict[str, int] = field(default_factory=dict)
+    model_overrides: Dict[str, float] = field(default_factory=dict)
+    trace_tasks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError("num_gpus must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.max_epochs < 1:
+            raise ConfigurationError("max_epochs must be >= 1")
+        if self.target_accuracy is not None and not 0.0 < self.target_accuracy <= 1.0:
+            raise ConfigurationError("target_accuracy must be in (0, 1]")
+
+
+@dataclass
+class CrossbowConfig(TrainerConfig):
+    """Configuration of the Crossbow trainer.
+
+    ``replicas_per_gpu`` is the initial number of learners per GPU (``m``); when
+    ``auto_tune`` is enabled the number adapts at runtime per Algorithm 2.
+    """
+
+    replicas_per_gpu: int = 1
+    auto_tune: bool = False
+    auto_tune_interval: int = 16  # iterations between throughput observations
+    auto_tune_tolerance: float = 0.05
+    max_replicas_per_gpu: int = 8
+    sma_momentum: float = 0.9
+    sma_alpha: Optional[float] = None
+    synchronisation_period: int = 1  # τ; 1 = synchronise every iteration
+    synchronisation: str = "sma"  # "sma" or "easgd"
+    restart_on_lr_change: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.replicas_per_gpu < 1:
+            raise ConfigurationError("replicas_per_gpu must be >= 1")
+        if self.max_replicas_per_gpu < self.replicas_per_gpu:
+            raise ConfigurationError("max_replicas_per_gpu must be >= replicas_per_gpu")
+        if self.synchronisation not in ("sma", "easgd", "none"):
+            raise ConfigurationError("synchronisation must be 'sma', 'easgd' or 'none'")
+        if self.synchronisation_period < 1:
+            raise ConfigurationError("synchronisation period τ must be >= 1")
+
+
+@dataclass
+class SSGDConfig(TrainerConfig):
+    """Configuration of the TensorFlow-style parallel S-SGD baseline.
+
+    ``batch_size`` is the *aggregate* batch size, partitioned equally across
+    GPUs each iteration (Figure 1 of the paper).
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.batch_size < self.num_gpus:
+            raise ConfigurationError(
+                "aggregate batch size must be at least the number of GPUs"
+            )

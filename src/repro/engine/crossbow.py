@@ -1,0 +1,388 @@
+"""The Crossbow trainer: learners, SMA synchronisation, task engine, auto-tuner.
+
+One training run couples two things:
+
+* the **numeric training** of ``g × m`` model replicas with SMA (real NumPy
+  forward/backward passes, Algorithm 1 applied to the flat parameter vectors),
+* the **simulated execution** of the corresponding learning and synchronisation
+  tasks on the multi-GPU server (:mod:`repro.gpusim`), which yields the
+  throughput and time-to-accuracy numbers the paper reports.
+
+Test accuracy is always evaluated on the central average model ``z``, which is
+the model SMA returns upon termination.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data import AugmentationPipeline, BatchPipeline, create_dataset
+from repro.data.batching import Batch
+from repro.engine.autotuner import AutoTuner, AutoTunerDecision
+from repro.engine.config import CrossbowConfig
+from repro.engine.learner import Learner
+from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
+from repro.engine.replica import ModelReplica, ReplicaPool
+from repro.engine.scheduler import SchedulingPolicy, TaskScheduler
+from repro.engine.task_manager import TaskManager
+from repro.errors import ConfigurationError
+from repro.models import create_model
+from repro.nn.metrics import accuracy
+from repro.nn.module import Module
+from repro.optim.easgd import EASGD, EASGDConfig
+from repro.optim.schedules import hyperparameters_for_model, schedule_for_model
+from repro.optim.sma import SMA, SMAConfig
+from repro.gpusim import Tracer, cost_profile_for_model, titan_x_server
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState
+
+logger = get_logger("engine.crossbow")
+
+
+class CrossbowTrainer:
+    """Trains a model with the Crossbow system design described in §3 and §4."""
+
+    def __init__(self, config: CrossbowConfig) -> None:
+        self.config = config
+        self.rng = RandomState(config.seed, name="crossbow")
+
+        # Data substrate -------------------------------------------------------------
+        self.dataset = create_dataset(config.dataset_name, **config.dataset_overrides)
+        total_learners = config.num_gpus * config.replicas_per_gpu
+        augmentation = (
+            AugmentationPipeline.cifar_default(self.rng.child("augmentation"))
+            if config.use_augmentation
+            else AugmentationPipeline.identity()
+        )
+        self.pipeline = BatchPipeline(
+            self.dataset,
+            batch_size=config.batch_size,
+            num_learners=max(total_learners, config.num_gpus * config.max_replicas_per_gpu),
+            augmentation=augmentation,
+            rng=self.rng.child("pipeline"),
+        )
+        if self.pipeline.batches_per_epoch < total_learners:
+            # Algorithm 1 requires at least one batch per learner per iteration
+            # (|B| >= k); otherwise no SMA iteration could ever complete.
+            raise ConfigurationError(
+                f"dataset provides only {self.pipeline.batches_per_epoch} batches per epoch "
+                f"but the configuration has {total_learners} learners; "
+                "use a larger dataset or a smaller batch size / learner count"
+            )
+
+        # Model substrate ------------------------------------------------------------
+        self.initial_model = create_model(
+            config.model_name, rng=self.rng.child("model"), **config.model_overrides
+        )
+        hyper = hyperparameters_for_model(config.model_name)
+        self.learning_rate = (
+            config.learning_rate if config.learning_rate is not None else hyper["learning_rate"]
+        )
+        self.momentum = config.momentum if config.momentum is not None else hyper["momentum"]
+        self.weight_decay = (
+            config.weight_decay if config.weight_decay is not None else hyper["weight_decay"]
+        )
+        self.schedule = schedule_for_model(config.model_name, base_rate=self.learning_rate)
+
+        # Simulated hardware ------------------------------------------------------------
+        self.profile = cost_profile_for_model(config.model_name)
+        tracer = Tracer(enabled=config.trace_tasks)
+        self.server = titan_x_server(config.num_gpus, tracer=tracer)
+        self.scheduler = TaskScheduler(
+            server=self.server,
+            profile=self.profile,
+            policy=SchedulingPolicy.FCFS_OVERLAP,
+            keep_task_records=config.trace_tasks,
+        )
+        self.task_manager = TaskManager(window=max(4, config.auto_tune_interval))
+
+        # Replicas and learners ------------------------------------------------------------
+        self.replica_pool = ReplicaPool()
+        self.learners: List[Learner] = []
+        for gpu in self.server.gpus:
+            for _ in range(config.replicas_per_gpu):
+                self._add_learner_on_gpu(gpu.gpu_id, self.initial_model.clone())
+
+        # Synchronisation algorithm ----------------------------------------------------------
+        self.synchroniser = self._build_synchroniser(len(self.learners))
+
+        # Auto-tuner ---------------------------------------------------------------------------
+        self.autotuner = AutoTuner(
+            tolerance=config.auto_tune_tolerance,
+            max_learners=config.max_replicas_per_gpu,
+            min_learners=1,
+            learners_per_gpu=config.replicas_per_gpu,
+            enabled=config.auto_tune,
+        )
+
+        self.metrics = TrainingMetrics()
+        self._iteration = 0
+        self._last_lr = self.schedule.rate(0.0)
+        self._accuracy_before_lr_change: Optional[float] = None
+
+    # ------------------------------------------------------------------ construction helpers
+    def _build_synchroniser(self, num_replicas: int):
+        center = self.initial_model.parameter_vector()
+        if self.config.synchronisation == "easgd":
+            return EASGD(
+                center,
+                num_replicas,
+                EASGDConfig(
+                    elasticity=self.config.sma_alpha,
+                    communication_period=self.config.synchronisation_period,
+                ),
+            )
+        # "none" still uses the SMA container for the central model but with α=0,
+        # so replicas never receive corrections (used by the τ=∞ ablation).
+        alpha = 0.0 if self.config.synchronisation == "none" else self.config.sma_alpha
+        config = SMAConfig(
+            momentum=self.config.sma_momentum,
+            alpha=alpha if alpha not in (None, 0.0) else (None if alpha is None else 1e-12),
+            synchronisation_period=self.config.synchronisation_period,
+        )
+        return SMA(center, num_replicas, config)
+
+    def _add_learner_on_gpu(self, gpu_id: int, model: Module) -> Learner:
+        gpu = self.server.gpu(gpu_id)
+        stream = gpu.add_learner_stream()
+        replica = self.replica_pool.add(model, gpu_id, stream.stream_id)
+        self.scheduler.register_replica(replica)
+        learner = Learner(len(self.learners), replica)
+        self.learners.append(learner)
+        return learner
+
+    # ------------------------------------------------------------------------ training loop
+    def train(self) -> TrainingResult:
+        """Run training until the target accuracy or the epoch budget is reached."""
+        config = self.config
+        started = time.perf_counter()
+        reached = False
+
+        for epoch in range(config.max_epochs):
+            self._apply_schedule(epoch)
+            train_loss = self._train_epoch(epoch)
+            if (epoch + 1) % config.evaluate_every_epochs == 0 or epoch == config.max_epochs - 1:
+                test_accuracy = self.evaluate()
+            else:
+                test_accuracy = self.metrics.records[-1].test_accuracy if self.metrics.records else 0.0
+            record = EpochRecord(
+                epoch=epoch,
+                sim_time=self.server.now(),
+                test_accuracy=test_accuracy,
+                train_loss=train_loss,
+                samples_processed=self.task_manager.total_samples,
+                learning_rate=self._last_lr,
+                replicas=len(self.learners),
+            )
+            self.metrics.add(record)
+            logger.debug(
+                "epoch %d: loss=%.4f acc=%.4f sim_time=%.1fs replicas=%d",
+                epoch,
+                train_loss,
+                test_accuracy,
+                record.sim_time,
+                len(self.learners),
+            )
+            if (
+                config.target_accuracy is not None
+                and self.metrics.median_accuracy_at(len(self.metrics.records) - 1)
+                >= config.target_accuracy
+            ):
+                reached = True
+                break
+
+        return TrainingResult(
+            system="crossbow",
+            model_name=config.model_name,
+            dataset_name=config.dataset_name,
+            num_gpus=config.num_gpus,
+            replicas_per_gpu=self.autotuner.learners_per_gpu,
+            batch_size=config.batch_size,
+            metrics=self.metrics,
+            reached_target=reached,
+            target_accuracy=config.target_accuracy,
+            wall_clock_seconds=time.perf_counter() - started,
+            extra={
+                "total_learners": len(self.learners),
+                "sma_restarts": getattr(self.synchroniser, "restarts", 0),
+            },
+        )
+
+    def _train_epoch(self, epoch: int) -> float:
+        """One pass over the training data; returns the mean training loss."""
+        losses: List[float] = []
+        batch_iter = self.pipeline.epoch_batches(epoch)
+        pending: List[Batch] = []
+        exhausted = False
+        while not exhausted:
+            # Collect one batch per learner for this SMA iteration.
+            pending.clear()
+            for _ in range(len(self.learners)):
+                try:
+                    pending.append(next(batch_iter))
+                except StopIteration:
+                    exhausted = True
+                    break
+            if len(pending) < len(self.learners):
+                break
+            losses.append(self._run_iteration(pending))
+            self._maybe_autotune()
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def _run_iteration(self, batches: List[Batch]) -> float:
+        """Execute one SMA iteration: k learning tasks + synchronisation tasks."""
+        synchronise = self.synchroniser.should_synchronise()
+        replicas = [learner.replica for learner in self.learners]
+
+        # Numeric part: gradients, corrections, replica and central model updates.
+        losses: List[float] = []
+        corrections: List[np.ndarray] = []
+        gradient_updates: List[np.ndarray] = []
+        for learner, batch in zip(self.learners, batches):
+            gradient, loss = learner.compute_gradient(batch)
+            losses.append(loss)
+            weights = learner.replica.vector()
+            scaled_gradient = self._last_lr * gradient
+            if self.weight_decay:
+                scaled_gradient = scaled_gradient + self._last_lr * self.weight_decay * weights
+            correction = self.synchroniser.correction(weights) if synchronise else 0.0
+            update = scaled_gradient + correction
+            learner.replica.load_vector(weights - update)
+            gradient_updates.append(scaled_gradient)
+            if synchronise:
+                corrections.append(correction)
+            learner.replica.iterations_processed += 1
+        if synchronise:
+            self.synchroniser.apply_corrections(corrections)
+        else:
+            self.synchroniser.iteration += 1
+
+        # Hardware part: schedule the corresponding tasks on the simulated server.
+        timing = self.scheduler.schedule_iteration(
+            iteration=self._iteration,
+            replicas=replicas,
+            batch_size=self.config.batch_size,
+            synchronise=synchronise,
+        )
+        self.task_manager.handle_completion(timing, num_learning_tasks=len(self.learners))
+        self._iteration += 1
+        return float(np.mean(losses))
+
+    # ------------------------------------------------------------------------ auto-tuning
+    def _maybe_autotune(self) -> None:
+        if not self.config.auto_tune:
+            return
+        if self._iteration == 0 or self._iteration % self.config.auto_tune_interval != 0:
+            return
+        throughput = self.task_manager.recent_throughput()
+        if throughput <= 0:
+            return
+        decision = self.autotuner.observe(throughput)
+        if decision is AutoTunerDecision.ADD_LEARNER:
+            self._grow_learners()
+        elif decision is AutoTunerDecision.REMOVE_LEARNER:
+            self._shrink_learners()
+
+    def _grow_learners(self) -> None:
+        """Add one learner per GPU, initialised from the central average model (§4.4)."""
+        self.scheduler.barrier()
+        self.replica_pool.lock()
+        try:
+            center = np.array(self.synchroniser.center, copy=True)
+            self.replica_pool.unlock()
+            for gpu in self.server.gpus:
+                model = self.initial_model.clone()
+                model.load_parameter_vector(center)
+                self._add_learner_on_gpu(gpu.gpu_id, model)
+        finally:
+            self.replica_pool.unlock()
+        self._rebuild_synchroniser_preserving_center()
+        self.task_manager.reset_window()
+        logger.debug("auto-tuner: grew to %d learners per GPU", self.autotuner.learners_per_gpu)
+
+    def _shrink_learners(self) -> None:
+        """Remove one learner per GPU (the most recently added one)."""
+        self.scheduler.barrier()
+        removed_ids: List[int] = []
+        for gpu in self.server.gpus:
+            replica = self.replica_pool.remove_last_on_gpu(gpu.gpu_id)
+            if replica is not None:
+                removed_ids.append(replica.replica_id)
+        if removed_ids:
+            self.learners = [
+                learner for learner in self.learners if learner.replica.replica_id not in removed_ids
+            ]
+        self._rebuild_synchroniser_preserving_center()
+        self.task_manager.reset_window()
+        logger.debug("auto-tuner: shrank to %d learners per GPU", self.autotuner.learners_per_gpu)
+
+    def _rebuild_synchroniser_preserving_center(self) -> None:
+        center = np.array(self.synchroniser.center, copy=True)
+        previous_iterations = self.synchroniser.iteration
+        self.synchroniser = self._build_synchroniser(len(self.learners))
+        self.synchroniser.center = center
+        if hasattr(self.synchroniser, "_previous_center"):
+            self.synchroniser._previous_center = center.copy()
+        self.synchroniser.iteration = previous_iterations
+
+    # ------------------------------------------------------------------------ schedule / restart
+    def _apply_schedule(self, epoch: int) -> None:
+        new_rate = self.schedule.rate(float(epoch))
+        if new_rate != self._last_lr:
+            if self.config.restart_on_lr_change and self.config.synchronisation == "sma":
+                # §3.2: if accuracy did not improve across the learning-rate
+                # change, restart the averaging process from the current centre.
+                current = self.metrics.final_accuracy()
+                if (
+                    self._accuracy_before_lr_change is not None
+                    and current <= self._accuracy_before_lr_change
+                ):
+                    self.synchroniser.restart()
+            self._accuracy_before_lr_change = self.metrics.final_accuracy()
+            self._last_lr = new_rate
+
+    # ------------------------------------------------------------------------ evaluation
+    def central_model(self) -> Module:
+        """Materialise the central average model ``z`` as a module.
+
+        SMA only averages trainable parameters; non-trainable state (the
+        batch-norm running statistics) is averaged across the replicas, which is
+        the standard practice for evaluating an averaged model.
+        """
+        model = self.initial_model.clone()
+        model.load_parameter_vector(np.asarray(self.synchroniser.center))
+        replica_models = [learner.replica.model for learner in self.learners]
+        if replica_models:
+            target_buffers = dict(model.named_buffers())
+            replica_buffers = [dict(m.named_buffers()) for m in replica_models]
+            for name, buffer in target_buffers.items():
+                stacked = np.stack([buffers[name] for buffers in replica_buffers])
+                buffer[...] = stacked.mean(axis=0)
+        return model
+
+    def evaluate(self, batch_size: int = 256) -> float:
+        """Top-1 accuracy of the central average model on the held-out test set."""
+        model = self.central_model()
+        model.eval()
+        correct = 0
+        total = 0
+        for batch in self.pipeline.test_batches(batch_size=batch_size):
+            with no_grad():
+                logits = model(Tensor(batch.images))
+            correct += int(round(accuracy(logits, batch.labels) * batch.size))
+            total += batch.size
+        return correct / total if total else 0.0
+
+    # ------------------------------------------------------------------------ introspection
+    def throughput(self) -> float:
+        return self.task_manager.cumulative_throughput()
+
+    def replicas_per_gpu(self) -> int:
+        return self.autotuner.learners_per_gpu
+
+    def central_model_vector(self) -> np.ndarray:
+        return np.array(self.synchroniser.center, copy=True)

@@ -1,0 +1,160 @@
+"""Dataflow-graph view of a model: the operators a learning task encapsulates.
+
+Crossbow represents the layers of a model as a graph of operators and a
+learning task encapsulates all of them (§4.2, Figure 8).  This module builds an
+explicit operator graph from a :class:`~repro.nn.module.Module` by running a
+shape-tracing forward pass, recording one node per leaf layer plus the implicit
+residual-add operators of the ResNet blocks.  The graph is used by:
+
+* :func:`repro.models.summary.summarize_model` — sanity checks of Table 1,
+* the memory planner (operator output sizes and dependencies),
+* the dataflow statistics reported by ``examples/autotuner_demo.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.memory_plan import OperatorSpec
+from repro.models.resnet import BasicBlock, BottleneckBlock
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class OperatorNode:
+    """One operator in the dataflow graph."""
+
+    index: int
+    name: str
+    op_type: str
+    output_shape: Tuple[int, ...]
+    output_bytes: int
+    inputs: Tuple[int, ...] = ()
+
+
+@dataclass
+class DataflowGraph:
+    """The ordered operator graph of one learning task."""
+
+    nodes: List[OperatorNode] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def total_output_bytes(self) -> int:
+        """Memory needed to keep every operator output alive (no reuse)."""
+        return sum(node.output_bytes for node in self.nodes)
+
+    def count_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.op_type] = counts.get(node.op_type, 0) + 1
+        return counts
+
+    def to_operator_specs(self) -> List[OperatorSpec]:
+        """Convert to the memory planner's input format."""
+        return [
+            OperatorSpec(name=node.name, output_bytes=node.output_bytes, input_indices=node.inputs)
+            for node in self.nodes
+        ]
+
+    def critical_path_bytes(self) -> int:
+        """Peak live bytes assuming each operator frees once its consumers ran.
+
+        A quick upper-bound estimate used by the examples; the precise figure
+        comes from :func:`repro.engine.memory_plan.offline_memory_plan`.
+        """
+        from repro.engine.memory_plan import offline_memory_plan
+
+        return offline_memory_plan(self.to_operator_specs()).peak_bytes
+
+
+def trace_dataflow(
+    model: Module, input_shape: Sequence[int], batch_size: int = 1
+) -> DataflowGraph:
+    """Build the dataflow graph of ``model`` for the given input shape.
+
+    Leaf modules are recorded in execution order; each node's input is the
+    preceding node (the residual-add nodes of ResNet blocks additionally read
+    the block's entry node, capturing the skip connection).
+    """
+    records: List[Tuple[str, str, Tuple[int, ...]]] = []
+    block_entries: Dict[str, int] = {}
+    leaf_modules = [(name, module) for name, module in model.named_modules() if not module._modules]
+    blocks = [
+        (name, module)
+        for name, module in model.named_modules()
+        if isinstance(module, (BasicBlock, BottleneckBlock))
+    ]
+
+    originals: Dict[str, object] = {}
+    block_originals: Dict[str, object] = {}
+    try:
+        for name, module in leaf_modules:
+            originals[name] = module.forward
+
+            def leaf_wrapper(x, _name=name):
+                output = originals[_name](x)
+                shape = tuple(output.shape) if hasattr(output, "shape") else ()
+                records.append((_name, _leaf_type(_name, leaf_modules), shape))
+                return output
+
+            object.__setattr__(module, "forward", leaf_wrapper)
+
+        for name, block in blocks:
+            block_originals[name] = block.forward
+
+            def block_wrapper(x, _name=name):
+                block_entries[_name] = len(records) - 1  # index of the node feeding the block
+                output = block_originals[_name](x)
+                shape = tuple(output.shape) if hasattr(output, "shape") else ()
+                records.append((f"{_name}.residual_add", "ResidualAdd", shape))
+                return output
+
+            object.__setattr__(block, "forward", block_wrapper)
+
+        dummy = Tensor(np.zeros((batch_size, *input_shape), dtype=np.float32))
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            model(dummy)
+        model.train(was_training)
+    finally:
+        for name, module in leaf_modules:
+            if name in originals:
+                object.__setattr__(module, "forward", originals[name])
+        for name, block in blocks:
+            if name in block_originals:
+                object.__setattr__(block, "forward", block_originals[name])
+
+    nodes: List[OperatorNode] = []
+    for index, (name, op_type, shape) in enumerate(records):
+        inputs: Tuple[int, ...] = (index - 1,) if index > 0 else ()
+        if op_type == "ResidualAdd":
+            block_name = name.rsplit(".", 1)[0]
+            entry = block_entries.get(block_name)
+            if entry is not None and 0 <= entry < index - 1:
+                inputs = (index - 1, entry)
+        output_bytes = int(np.prod(shape)) * 4 if shape else 0
+        nodes.append(
+            OperatorNode(
+                index=index,
+                name=name,
+                op_type=op_type,
+                output_shape=shape,
+                output_bytes=output_bytes,
+                inputs=inputs,
+            )
+        )
+    return DataflowGraph(nodes=nodes)
+
+
+def _leaf_type(name: str, leaf_modules: List[Tuple[str, Module]]) -> str:
+    for module_name, module in leaf_modules:
+        if module_name == name:
+            return type(module).__name__
+    return "Operator"

@@ -1,0 +1,147 @@
+"""Training metrics: time-to-accuracy, epochs-to-accuracy, throughput.
+
+The paper's main metric is ``TTA(x)``: the time at which the *median test
+accuracy of the last five epochs* first reaches the threshold ``x`` (§5.1).
+Statistical efficiency is reported as epochs-to-accuracy (ETA) and hardware
+efficiency as training throughput in images per second.  All three are derived
+from the per-epoch records collected here; "time" is the simulated clock of
+:mod:`repro.gpusim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Measurements taken at the end of one training epoch."""
+
+    epoch: int
+    sim_time: float
+    test_accuracy: float
+    train_loss: float
+    samples_processed: int
+    learning_rate: float
+    replicas: int
+
+    @property
+    def throughput(self) -> float:
+        """Cumulative images/second up to the end of this epoch (simulated time)."""
+        if self.sim_time <= 0:
+            return 0.0
+        return self.samples_processed / self.sim_time
+
+
+class TrainingMetrics:
+    """Collects per-epoch records and answers TTA / ETA queries."""
+
+    #: number of trailing epochs over which the median accuracy is taken
+    MEDIAN_WINDOW = 5
+
+    def __init__(self) -> None:
+        self.records: List[EpochRecord] = []
+
+    def add(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- accuracy aggregation ---------------------------------------------------------
+    def median_accuracy_at(self, index: int) -> float:
+        """Median test accuracy of the last up-to-five epochs ending at ``index``."""
+        window = self.records[max(0, index - self.MEDIAN_WINDOW + 1) : index + 1]
+        return float(np.median([r.test_accuracy for r in window]))
+
+    def best_accuracy(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.test_accuracy for r in self.records)
+
+    def final_accuracy(self) -> float:
+        return self.records[-1].test_accuracy if self.records else 0.0
+
+    # -- paper metrics -----------------------------------------------------------------
+    def time_to_accuracy(self, threshold: float) -> Optional[float]:
+        """TTA(x): simulated seconds until the median accuracy reaches ``threshold``."""
+        for index, record in enumerate(self.records):
+            if self.median_accuracy_at(index) >= threshold:
+                return record.sim_time
+        return None
+
+    def epochs_to_accuracy(self, threshold: float) -> Optional[int]:
+        """ETA(x): epochs until the median accuracy reaches ``threshold``."""
+        for index, record in enumerate(self.records):
+            if self.median_accuracy_at(index) >= threshold:
+                return record.epoch + 1
+        return None
+
+    def average_throughput(self) -> float:
+        """Images/second over the whole run (simulated time)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].throughput
+
+    def accuracy_curve(self) -> List[Dict[str, float]]:
+        """(time, epoch, accuracy) triples, the data behind Figures 9 and 11."""
+        return [
+            {"epoch": r.epoch, "time": r.sim_time, "accuracy": r.test_accuracy}
+            for r in self.records
+        ]
+
+
+@dataclass
+class TrainingResult:
+    """Everything a trainer returns: metrics plus run metadata."""
+
+    system: str
+    model_name: str
+    dataset_name: str
+    num_gpus: int
+    replicas_per_gpu: int
+    batch_size: int
+    metrics: TrainingMetrics
+    reached_target: bool
+    target_accuracy: Optional[float]
+    wall_clock_seconds: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_replicas(self) -> int:
+        return self.num_gpus * self.replicas_per_gpu
+
+    def time_to_accuracy(self, threshold: Optional[float] = None) -> Optional[float]:
+        threshold = threshold if threshold is not None else self.target_accuracy
+        if threshold is None:
+            return None
+        return self.metrics.time_to_accuracy(threshold)
+
+    def epochs_to_accuracy(self, threshold: Optional[float] = None) -> Optional[int]:
+        threshold = threshold if threshold is not None else self.target_accuracy
+        if threshold is None:
+            return None
+        return self.metrics.epochs_to_accuracy(threshold)
+
+    def throughput(self) -> float:
+        return self.metrics.average_throughput()
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary used by the benchmark reporting tables."""
+        return {
+            "system": self.system,
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "gpus": self.num_gpus,
+            "replicas_per_gpu": self.replicas_per_gpu,
+            "batch_size": self.batch_size,
+            "epochs": len(self.metrics),
+            "best_accuracy": round(self.metrics.best_accuracy(), 4),
+            "tta_seconds": self.time_to_accuracy(),
+            "epochs_to_target": self.epochs_to_accuracy(),
+            "throughput_img_s": round(self.throughput(), 1),
+            "reached_target": self.reached_target,
+        }

@@ -1,0 +1,120 @@
+"""Model replicas and the replica pool managed by the task manager.
+
+Every learner owns one model replica.  Replicas are created from a shared
+initial model (or, when the auto-tuner adds a learner mid-training, from the
+latest central average model), live on one GPU, and cycle between the pool and
+the learners as iterations are scheduled (§4.1, steps 2–4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.nn.module import Module
+
+
+class ModelReplica:
+    """One model replica pinned to a GPU and a learner stream."""
+
+    def __init__(self, replica_id: int, model: Module, gpu_id: int, stream_id: int) -> None:
+        self.replica_id = replica_id
+        self.model = model
+        self.gpu_id = gpu_id
+        self.stream_id = stream_id
+        self.iterations_processed = 0
+
+    # -- flat views used by the synchronisation algorithms --------------------------------
+    def vector(self) -> np.ndarray:
+        return self.model.parameter_vector()
+
+    def load_vector(self, vector: np.ndarray) -> None:
+        self.model.load_parameter_vector(vector)
+
+    def num_parameters(self) -> int:
+        return self.model.num_parameters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelReplica(id={self.replica_id}, gpu={self.gpu_id}, stream={self.stream_id})"
+
+
+class ReplicaPool:
+    """The pool of model replicas the task scheduler draws from.
+
+    Replicas are checked out when a learning task is scheduled and checked back
+    in when the task manager handles the completion event.  The auto-tuner
+    resizes the pool at iteration boundaries (§4.4) while holding it locked.
+    """
+
+    def __init__(self) -> None:
+        self._replicas: Dict[int, ModelReplica] = {}
+        self._available: List[int] = []
+        self._locked = False
+        self._next_id = 0
+
+    # -- pool management -----------------------------------------------------------------
+    def add(self, model: Module, gpu_id: int, stream_id: int) -> ModelReplica:
+        """Register a new replica (initially available)."""
+        if self._locked:
+            raise SchedulingError("replica pool is locked for resizing")
+        replica = ModelReplica(self._next_id, model, gpu_id, stream_id)
+        self._replicas[replica.replica_id] = replica
+        self._available.append(replica.replica_id)
+        self._next_id += 1
+        return replica
+
+    def remove_last_on_gpu(self, gpu_id: int) -> Optional[ModelReplica]:
+        """Remove the most recently added available replica on ``gpu_id`` (shrink)."""
+        for replica_id in reversed(self._available):
+            replica = self._replicas[replica_id]
+            if replica.gpu_id == gpu_id:
+                self._available.remove(replica_id)
+                del self._replicas[replica_id]
+                return replica
+        return None
+
+    def lock(self) -> None:
+        self._locked = True
+
+    def unlock(self) -> None:
+        self._locked = False
+
+    # -- checkout cycle --------------------------------------------------------------------
+    def acquire(self, gpu_id: Optional[int] = None) -> ModelReplica:
+        """Check out the first available replica (optionally restricted to a GPU)."""
+        if self._locked:
+            raise SchedulingError("replica pool is locked for resizing")
+        for index, replica_id in enumerate(self._available):
+            replica = self._replicas[replica_id]
+            if gpu_id is None or replica.gpu_id == gpu_id:
+                self._available.pop(index)
+                return replica
+        raise SchedulingError(
+            f"no available replica{'' if gpu_id is None else f' on GPU {gpu_id}'}"
+        )
+
+    def release(self, replica: ModelReplica) -> None:
+        """Return a replica to the pool after its tasks completed."""
+        if replica.replica_id not in self._replicas:
+            raise SchedulingError(f"replica {replica.replica_id} does not belong to this pool")
+        if replica.replica_id in self._available:
+            raise SchedulingError(f"replica {replica.replica_id} is already in the pool")
+        self._available.append(replica.replica_id)
+
+    # -- introspection ------------------------------------------------------------------------
+    def all_replicas(self) -> List[ModelReplica]:
+        return [self._replicas[i] for i in sorted(self._replicas)]
+
+    def replicas_on_gpu(self, gpu_id: int) -> List[ModelReplica]:
+        return [r for r in self.all_replicas() if r.gpu_id == gpu_id]
+
+    def available_count(self) -> int:
+        return len(self._available)
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, replica_id: int) -> bool:
+        return replica_id in self._replicas

@@ -1,0 +1,105 @@
+"""Task descriptors exchanged between the scheduler, the task manager and GPUs.
+
+Crossbow's dataflow (Figure 8 of the paper) interleaves three task kinds:
+learning tasks, local synchronisation tasks (replica vs. the GPU-local copy of
+the average model) and global synchronisation tasks (all-reduce across GPUs).
+These dataclasses carry the identifiers and the simulated timing of each task;
+the numeric work itself is performed by the learners and the SMA state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class TaskKind(str, enum.Enum):
+    """The three task kinds of the Crossbow dataflow graph."""
+
+    LEARNING = "learning"
+    LOCAL_SYNC = "local_sync"
+    GLOBAL_SYNC = "global_sync"
+
+
+@dataclass(frozen=True)
+class LearningTask:
+    """Process one batch with one replica, producing a gradient."""
+
+    task_id: int
+    iteration: int
+    replica_id: int
+    gpu_id: int
+    stream_id: int
+    batch_index: int
+    batch_size: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.LEARNING
+
+
+@dataclass(frozen=True)
+class LocalSyncTask:
+    """Apply the SMA correction of one replica against the local average model."""
+
+    task_id: int
+    iteration: int
+    replica_id: int
+    gpu_id: int
+    stream_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.LOCAL_SYNC
+
+
+@dataclass(frozen=True)
+class GlobalSyncTask:
+    """Aggregate local differences across GPUs and update the central average model."""
+
+    task_id: int
+    iteration: int
+    gpu_id: int
+    start: float
+    end: float
+    payload_bytes: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.GLOBAL_SYNC
+
+
+@dataclass(frozen=True)
+class IterationTasks:
+    """All task records of one SMA iteration (used by tests and tracing)."""
+
+    iteration: int
+    learning: Tuple[LearningTask, ...]
+    local_sync: Tuple[LocalSyncTask, ...]
+    global_sync: Tuple[GlobalSyncTask, ...]
+    synchronised: bool
+
+    def end_time(self) -> float:
+        ends = [t.end for t in self.learning + self.local_sync + self.global_sync]
+        return max(ends) if ends else 0.0
+
+    def start_time(self) -> float:
+        starts = [t.start for t in self.learning + self.local_sync + self.global_sync]
+        return min(starts) if starts else 0.0

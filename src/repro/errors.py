@@ -1,0 +1,32 @@
+"""Exception hierarchy for the Crossbow reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ShapeError(ReproError):
+    """An operator received tensors with incompatible shapes."""
+
+
+class GradientError(ReproError):
+    """Backward pass failed, e.g. calling ``backward`` on a non-scalar output."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, trainer or simulator was configured inconsistently."""
+
+
+class SchedulingError(ReproError):
+    """The task engine was asked to do something impossible (e.g. a dependency
+    cycle, or scheduling onto a GPU that does not exist)."""
+
+
+class MemoryPlanError(ReproError):
+    """The memory planner detected a reference-counting inconsistency."""
+
+
+class DataError(ReproError):
+    """A dataset or batch pipeline was used incorrectly."""

@@ -1,0 +1,65 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benches print the same rows/series the paper's figures show; these helpers
+render them as aligned text tables and optionally persist them as CSV so the
+numbers can be copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.engine.metrics import TrainingResult
+
+
+def results_to_rows(results: Iterable[TrainingResult]) -> List[Dict[str, object]]:
+    """Flatten :class:`TrainingResult` objects into table rows."""
+    return [result.summary() for result in results]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def _cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        if value is None:
+            return "-"
+        return str(value)
+
+    rendered = [[_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    return f"{header}\n{separator}\n{body}"
+
+
+def save_rows(rows: Sequence[Dict[str, object]], path: Path) -> Path:
+    """Persist rows to CSV (creating parent directories)."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    # Rows from one experiment may carry slightly different columns (e.g. a
+    # baseline row lacking a Crossbow-specific field); use the union of keys.
+    fieldnames: list = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

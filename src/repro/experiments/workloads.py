@@ -1,0 +1,176 @@
+"""Workload definitions for the paper's four benchmark models.
+
+A :class:`Workload` bundles what §5.1 of the paper fixes per model: the dataset,
+the per-learner batch size, the accuracy target used by ``TTA(x)`` and the
+hyper-parameters.  Two *scale profiles* control how heavy the convergence runs
+are:
+
+``"quick"``
+    scaled models and small synthetic datasets so that a full figure
+    reproduction finishes on a laptop CPU in minutes — this is what the
+    ``benchmarks/`` modules use by default;
+``"paper"``
+    paper-faithful model configurations and dataset shapes (only practical with
+    a very large time budget; provided so the harness is not artificially
+    capped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark workload: model, dataset, batch size and accuracy target.
+
+    ``batch_size`` is the per-learner batch Crossbow trains with.
+    ``baseline_batch_per_gpu`` is the per-GPU batch the S-SGD baseline uses in
+    the end-to-end comparisons (Figures 10 and 11): as in the paper, the
+    baseline needs a large per-GPU batch to keep its hardware efficiency up,
+    which is exactly what costs it statistical efficiency.  When ``None`` the
+    baseline simply uses the same per-GPU batch as Crossbow's learners.
+    """
+
+    name: str
+    model_name: str
+    dataset_name: str
+    batch_size: int
+    target_accuracy: float
+    max_epochs: int
+    dataset_overrides: Dict[str, int] = field(default_factory=dict)
+    model_overrides: Dict[str, float] = field(default_factory=dict)
+    baseline_batch_per_gpu: Optional[int] = None
+
+    def scaled_down(self, num_train: int, num_test: int, max_epochs: Optional[int] = None) -> "Workload":
+        """Return a copy with a smaller dataset (used by the test suite)."""
+        overrides = dict(self.dataset_overrides)
+        overrides.update({"num_train": num_train, "num_test": num_test})
+        return replace(
+            self,
+            dataset_overrides=overrides,
+            max_epochs=max_epochs if max_epochs is not None else self.max_epochs,
+        )
+
+
+# Accuracy thresholds follow §5.1 of the paper (chosen from the baseline's best
+# accuracy): 99% LeNet, 88% ResNet-32, 69% VGG-16, 53% ResNet-50.  The "quick"
+# profile trains scaled models on synthetic data, where those absolute numbers
+# are reachable but correspond to different dynamics, so each quick workload
+# carries its own calibrated target (the relative comparisons are what matter).
+SCALE_PROFILES: Dict[str, Dict[str, Workload]] = {
+    "quick": {
+        "lenet": Workload(
+            name="lenet",
+            model_name="lenet-scaled",
+            dataset_name="mnist-scaled",
+            batch_size=4,
+            target_accuracy=0.97,
+            max_epochs=12,
+            dataset_overrides={"num_train": 768, "num_test": 384},
+        ),
+        "resnet32": Workload(
+            name="resnet32",
+            model_name="resnet32-scaled",
+            dataset_name="cifar10-scaled",
+            # A small per-learner batch and a dataset large enough that even the
+            # 8-GPU, 4-learners-per-GPU configuration (32 learners) still gets
+            # several SMA iterations per epoch (Algorithm 1 requires |B| >= k).
+            batch_size=16,
+            target_accuracy=0.88,
+            max_epochs=14,
+            dataset_overrides={"num_train": 1536, "num_test": 384},
+            model_overrides={"width_multiplier": 0.25, "blocks_per_stage": 1},
+            baseline_batch_per_gpu=64,
+        ),
+        "vgg16": Workload(
+            name="vgg16",
+            model_name="vgg16-scaled",
+            dataset_name="cifar100-scaled",
+            batch_size=16,
+            target_accuracy=0.69,
+            max_epochs=14,
+            dataset_overrides={"num_train": 1024, "num_test": 384},
+            model_overrides={"width_multiplier": 0.0625},
+        ),
+        "resnet50": Workload(
+            name="resnet50",
+            model_name="resnet50-scaled",
+            dataset_name="imagenet-scaled",
+            batch_size=8,
+            target_accuracy=0.53,
+            max_epochs=10,
+            dataset_overrides={"num_train": 1024, "num_test": 384},
+            model_overrides={"width_multiplier": 0.125, "stage_blocks": (1, 1, 1, 1)},
+        ),
+        "mlp": Workload(
+            name="mlp",
+            model_name="mlp",
+            dataset_name="blobs",
+            batch_size=16,
+            target_accuracy=0.95,
+            max_epochs=10,
+            dataset_overrides={"num_train": 512, "num_test": 256},
+        ),
+    },
+    "paper": {
+        "lenet": Workload(
+            name="lenet",
+            model_name="lenet",
+            dataset_name="mnist",
+            batch_size=4,
+            target_accuracy=0.99,
+            max_epochs=30,
+        ),
+        "resnet32": Workload(
+            name="resnet32",
+            model_name="resnet32",
+            dataset_name="cifar10",
+            batch_size=64,
+            target_accuracy=0.88,
+            max_epochs=140,
+        ),
+        "vgg16": Workload(
+            name="vgg16",
+            model_name="vgg16",
+            dataset_name="cifar100",
+            batch_size=256,
+            target_accuracy=0.69,
+            max_epochs=250,
+        ),
+        "resnet50": Workload(
+            name="resnet50",
+            model_name="resnet50",
+            dataset_name="imagenet",
+            batch_size=16,
+            target_accuracy=0.53,
+            max_epochs=30,
+        ),
+        "mlp": Workload(
+            name="mlp",
+            model_name="mlp",
+            dataset_name="blobs",
+            batch_size=16,
+            target_accuracy=0.95,
+            max_epochs=10,
+        ),
+    },
+}
+
+#: Default profile used by the benchmark modules.
+WORKLOADS: Dict[str, Workload] = SCALE_PROFILES["quick"]
+
+
+def workload_for_model(model: str, profile: str = "quick") -> Workload:
+    """Look up the workload definition for a benchmark model."""
+    if profile not in SCALE_PROFILES:
+        raise ConfigurationError(f"unknown scale profile {profile!r}")
+    profile_workloads = SCALE_PROFILES[profile]
+    if model not in profile_workloads:
+        raise ConfigurationError(
+            f"unknown workload {model!r}; known: {sorted(profile_workloads)}"
+        )
+    return profile_workloads[model]

@@ -1,0 +1,164 @@
+"""Kernel/task cost model calibrated to the latencies reported in the paper.
+
+The paper reports that a ResNet-50 learning task takes roughly 220 ms (batch 32)
+while a LeNet learning task takes about 1 ms, and that a single small-batch
+learning task does not saturate a Titan X GPU — which is exactly why Crossbow
+trains several learners per GPU.  The cost model captures this with three
+numbers per model:
+
+``fixed_overhead_s``
+    kernel-launch and framework overhead paid once per learning task,
+``per_sample_s``
+    compute time per training sample at full GPU clock,
+``saturation_batch``
+    the batch size at which a single learning task uses every streaming
+    multiprocessor; smaller batches leave SMs idle that other learners can use.
+
+When ``m`` learners run concurrently on one GPU, the total SM demand is
+``m * utilisation(b)``.  Demand up to 1.0 is served fully in parallel (different
+SMs); beyond 1.0 the GPU time-slices and every task slows down proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU (defaults follow the GTX Titan X Pascal)."""
+
+    name: str = "titan-x-pascal"
+    num_sms: int = 24
+    memory_gb: float = 12.0
+    pcie_bandwidth_gbps: float = 12.0  # effective PCIe 3.0 x16 bandwidth
+    pcie_latency_s: float = 50e-6
+
+
+@dataclass(frozen=True)
+class TaskCostProfile:
+    """Per-model learning-task cost parameters."""
+
+    model_name: str
+    fixed_overhead_s: float
+    per_sample_s: float
+    saturation_batch: int
+    parameter_bytes: int
+    sample_bytes: int
+    activation_bytes_per_sample: int = 0
+
+    def compute_time(self, batch_size: int) -> float:
+        """Duration of one learning task run alone on an idle GPU."""
+        if batch_size < 1:
+            raise ConfigurationError("batch size must be >= 1")
+        return self.fixed_overhead_s + batch_size * self.per_sample_s
+
+
+# Calibrated against the figures quoted in the paper (§5.1, §5.2): a ResNet-50
+# learning task takes ~220 ms at batch 32; LeNet tasks take ~1 ms; ResNet-32 at
+# batch 64 sustains a few thousand images/s per GPU.
+COST_PROFILES: Dict[str, TaskCostProfile] = {
+    "lenet": TaskCostProfile(
+        model_name="lenet",
+        fixed_overhead_s=0.5e-3,
+        per_sample_s=0.008e-3,
+        saturation_batch=1024,
+        parameter_bytes=int(4.24 * 1024 * 1024),
+        sample_bytes=28 * 28 * 1 * 4,
+    ),
+    "resnet32": TaskCostProfile(
+        model_name="resnet32",
+        fixed_overhead_s=3.0e-3,
+        per_sample_s=0.28e-3,
+        saturation_batch=96,
+        parameter_bytes=int(1.79 * 1024 * 1024),
+        sample_bytes=32 * 32 * 3 * 4,
+    ),
+    "vgg16": TaskCostProfile(
+        model_name="vgg16",
+        fixed_overhead_s=5.0e-3,
+        per_sample_s=0.9e-3,
+        saturation_batch=192,
+        parameter_bytes=int(57.37 * 1024 * 1024),
+        sample_bytes=32 * 32 * 3 * 4,
+    ),
+    "resnet50": TaskCostProfile(
+        model_name="resnet50",
+        fixed_overhead_s=12.0e-3,
+        per_sample_s=6.5e-3,
+        saturation_batch=48,
+        parameter_bytes=int(97.49 * 1024 * 1024),
+        sample_bytes=224 * 224 * 3 * 4,
+    ),
+    "mlp": TaskCostProfile(
+        model_name="mlp",
+        fixed_overhead_s=0.2e-3,
+        per_sample_s=0.002e-3,
+        saturation_batch=2048,
+        parameter_bytes=64 * 1024,
+        sample_bytes=32 * 4,
+    ),
+}
+
+
+def cost_profile_for_model(model_name: str) -> TaskCostProfile:
+    """Look up the cost profile for a benchmark model (scaled variants share it)."""
+    base_name = model_name.replace("-scaled", "")
+    if base_name not in COST_PROFILES:
+        raise ConfigurationError(
+            f"no cost profile for model {model_name!r}; known: {sorted(COST_PROFILES)}"
+        )
+    return COST_PROFILES[base_name]
+
+
+def utilisation(profile: TaskCostProfile, batch_size: int) -> float:
+    """Fraction of the GPU's SMs a single learning task with this batch occupies."""
+    if batch_size < 1:
+        raise ConfigurationError("batch size must be >= 1")
+    return min(1.0, batch_size / profile.saturation_batch)
+
+
+def contention_factor(profile: TaskCostProfile, batch_size: int, concurrent_learners: int) -> float:
+    """Slow-down factor when ``concurrent_learners`` tasks share one GPU.
+
+    Total SM demand up to 1.0 executes fully in parallel; above 1.0 the GPU
+    time-slices and every task is slowed by the total demand.
+    """
+    if concurrent_learners < 1:
+        raise ConfigurationError("at least one learner must run on the GPU")
+    demand = concurrent_learners * utilisation(profile, batch_size)
+    return max(1.0, demand)
+
+
+def learning_task_duration(
+    profile: TaskCostProfile,
+    batch_size: int,
+    concurrent_learners: int = 1,
+    scheduler_overhead_s: float = 0.0,
+) -> float:
+    """Duration of one learning task when ``concurrent_learners`` share the GPU."""
+    base = profile.compute_time(batch_size)
+    factor = contention_factor(profile, batch_size, concurrent_learners)
+    return base * factor + scheduler_overhead_s
+
+
+def local_sync_duration(profile: TaskCostProfile, concurrent_learners: int = 1) -> float:
+    """Duration of a local synchronisation task (replica minus reference model).
+
+    The task streams the model weights once through the GPU memory system.  It
+    is proportional to the model size; concurrent learners issue their local
+    sync tasks in parallel so contention applies the same way as for learning
+    tasks, but the absolute cost is small (memory-bound, ~400 GB/s on Titan X).
+    """
+    memory_bandwidth = 400e9  # bytes/s, effective device-memory bandwidth
+    base = 3.0 * profile.parameter_bytes / memory_bandwidth + 20e-6
+    return base * max(1.0, 0.25 * concurrent_learners)
+
+
+def input_transfer_duration(profile: TaskCostProfile, batch_size: int, gpu: GpuSpec) -> float:
+    """Host-to-device copy time for one input batch over PCIe (copy engine)."""
+    bytes_to_copy = batch_size * profile.sample_bytes
+    return gpu.pcie_latency_s + bytes_to_copy / (gpu.pcie_bandwidth_gbps * 1e9)

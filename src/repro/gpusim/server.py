@@ -1,0 +1,147 @@
+"""The simulated multi-GPU server that the trainers schedule work onto."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.gpusim.allreduce import hierarchical_reduce_time, ring_allreduce_time
+from repro.gpusim.costmodel import GpuSpec, TaskCostProfile, input_transfer_duration
+from repro.gpusim.device import Gpu, Stream, TaskRecord
+from repro.gpusim.topology import Topology, pcie_tree_topology
+from repro.gpusim.tracing import Tracer
+
+
+class MultiGpuServer:
+    """A server with ``num_gpus`` GPUs connected by ``topology``.
+
+    The server offers the primitives the trainers need: learner/sync streams on
+    each GPU, host-to-device input transfers on the copy engines, and collective
+    synchronisation operations whose cost comes from the topology.  It owns the
+    simulated clock implicitly: time is simply the maximum completion time of
+    the tasks scheduled so far.
+    """
+
+    def __init__(
+        self,
+        num_gpus: int,
+        gpu_spec: Optional[GpuSpec] = None,
+        topology: Optional[Topology] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if num_gpus < 1:
+            raise ConfigurationError("server needs at least one GPU")
+        self.gpu_spec = gpu_spec if gpu_spec is not None else GpuSpec()
+        self.gpus: List[Gpu] = [Gpu(i, spec=self.gpu_spec) for i in range(num_gpus)]
+        self.topology = topology if topology is not None else pcie_tree_topology(num_gpus)
+        if self.topology.num_gpus != num_gpus:
+            raise ConfigurationError(
+                f"topology is for {self.topology.num_gpus} GPUs but the server has {num_gpus}"
+            )
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+    def gpu(self, gpu_id: int) -> Gpu:
+        if not 0 <= gpu_id < len(self.gpus):
+            raise SchedulingError(f"GPU {gpu_id} does not exist on this server")
+        return self.gpus[gpu_id]
+
+    # -- scheduling primitives -------------------------------------------------------
+    def schedule_task(
+        self,
+        gpu_id: int,
+        stream: Stream,
+        name: str,
+        duration: float,
+        dependencies: List[float] = (),
+        kind: str = "task",
+    ) -> TaskRecord:
+        """Schedule one task on a specific stream of a specific GPU."""
+        if stream.gpu_id != gpu_id:
+            raise SchedulingError(
+                f"stream belongs to GPU {stream.gpu_id}, not GPU {gpu_id}"
+            )
+        record = stream.schedule(name, duration, dependencies=list(dependencies), kind=kind)
+        self.tracer.record(record)
+        return record
+
+    def schedule_input_transfer(
+        self,
+        gpu_id: int,
+        profile: TaskCostProfile,
+        batch_size: int,
+        dependencies: List[float] = (),
+        name: str = "h2d-copy",
+    ) -> TaskRecord:
+        """Copy one input batch to the GPU using its copy engine (overlaps compute)."""
+        gpu = self.gpu(gpu_id)
+        duration = input_transfer_duration(profile, batch_size, gpu.spec)
+        record = gpu.copy_engine.schedule(name, duration, dependencies=list(dependencies), kind="copy")
+        self.tracer.record(record)
+        return record
+
+    def schedule_allreduce(
+        self,
+        size_bytes: float,
+        ready_times: List[float],
+        name: str = "allreduce",
+        replicas_per_gpu: int = 1,
+        hierarchical: bool = True,
+    ) -> Dict[int, TaskRecord]:
+        """Schedule a collective across every GPU's synchronisation stream.
+
+        The collective starts once every participating GPU's sync stream is free
+        and every ``ready_times`` dependency has completed, and it occupies all
+        sync streams for its duration (all GPUs participate in the ring).
+        Returns the per-GPU task records.
+        """
+        if len(ready_times) == 0:
+            ready_times = [0.0]
+        if hierarchical:
+            duration = hierarchical_reduce_time(size_bytes, self.topology, replicas_per_gpu)
+        else:
+            duration = ring_allreduce_time(size_bytes, self.topology)
+        start = max([gpu.sync_stream.available_at for gpu in self.gpus] + list(ready_times))
+        records: Dict[int, TaskRecord] = {}
+        for gpu in self.gpus:
+            record = gpu.sync_stream.schedule(
+                name, duration, dependencies=[start], kind="collective"
+            )
+            self.tracer.record(record)
+            records[gpu.gpu_id] = record
+        return records
+
+    # -- clock and utilisation --------------------------------------------------------
+    def now(self) -> float:
+        """Current simulated time = completion time of the latest scheduled task."""
+        latest = 0.0
+        for gpu in self.gpus:
+            for stream in gpu.streams.values():
+                latest = max(latest, stream.available_at)
+        return latest
+
+    def utilisation(self) -> Dict[int, float]:
+        """Per-GPU learner-stream utilisation up to the current simulated time."""
+        now = self.now()
+        return {gpu.gpu_id: gpu.utilisation(now) for gpu in self.gpus}
+
+    def reset_clock(self) -> None:
+        """Forget all scheduled work (used between benchmark sweep points)."""
+        for gpu in self.gpus:
+            for stream in gpu.streams.values():
+                stream.available_at = 0.0
+                stream.records.clear()
+        self.tracer.clear()
+
+
+def titan_x_server(num_gpus: int = 8, tracer: Optional[Tracer] = None) -> MultiGpuServer:
+    """The paper's testbed: up to 8 Titan X (Pascal) GPUs on a PCIe 3.0 tree."""
+    return MultiGpuServer(
+        num_gpus=num_gpus,
+        gpu_spec=GpuSpec(),
+        topology=pcie_tree_topology(num_gpus),
+        tracer=tracer,
+    )

@@ -1,0 +1,75 @@
+"""Execution-trace capture for the simulated server.
+
+Traces are what the tests use to check scheduling invariants (tasks on one
+stream never overlap; synchronisation of iteration N overlaps learning of
+iteration N+1), and what ``examples/autotuner_demo.py`` prints to visualise the
+task timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.gpusim.device import TaskRecord
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A trace entry in a chrome://tracing-like flat format."""
+
+    name: str
+    gpu_id: int
+    stream_id: int
+    start: float
+    end: float
+    kind: str
+
+    @classmethod
+    def from_record(cls, record: TaskRecord) -> "TraceEvent":
+        return cls(
+            name=record.name,
+            gpu_id=record.gpu_id,
+            stream_id=record.stream_id,
+            start=record.start,
+            end=record.end,
+            kind=record.kind,
+        )
+
+    def as_dict(self) -> Dict:
+        return asdict(self)
+
+
+class Tracer:
+    """Collects task records; can be disabled to avoid overhead in long sweeps."""
+
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = 200_000) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+
+    def record(self, record: TaskRecord) -> None:
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            return
+        self.events.append(TraceEvent.from_record(record))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def by_gpu(self, gpu_id: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.gpu_id == gpu_id]
+
+    def makespan(self) -> float:
+        """End time of the last recorded event."""
+        return max((event.end for event in self.events), default=0.0)
+
+    def to_dicts(self) -> List[Dict]:
+        return [event.as_dict() for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)

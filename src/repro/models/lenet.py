@@ -1,0 +1,62 @@
+"""LeNet, the small convolutional model trained on MNIST in the paper."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RandomState
+
+
+class LeNet(Module):
+    """LeNet-style convolutional network.
+
+    The default configuration matches the MNIST benchmark in Table 1 of the
+    paper (28x28 single-channel input, 10 classes).  ``width_multiplier`` and
+    ``input_size`` allow a scaled variant for fast CPU training.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        input_size: int = 28,
+        width_multiplier: float = 1.0,
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.input_size = input_size
+
+        c1 = max(4, int(round(20 * width_multiplier)))
+        c2 = max(8, int(round(50 * width_multiplier)))
+        hidden = max(32, int(round(500 * width_multiplier)))
+
+        self.features = Sequential(
+            Conv2d(in_channels, c1, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=5, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        spatial = input_size // 4
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(c2 * spatial * spatial, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

@@ -1,0 +1,40 @@
+"""A simple multi-layer perceptron.
+
+Not part of the paper's benchmark suite, but used throughout the test suite and
+the micro-convergence experiments because it trains in milliseconds while still
+exercising the full Crossbow stack (replicas, SMA, task engine).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.nn import Flatten, Linear, Module, ReLU, Sequential
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RandomState
+
+
+class MLP(Module):
+    """Fully-connected classifier with ReLU activations."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_sizes: Sequence[int] = (64, 32),
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        layers = [Flatten()]
+        previous = input_dim
+        for width in hidden_sizes:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Linear(previous, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

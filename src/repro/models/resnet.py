@@ -1,0 +1,203 @@
+"""Residual networks: ResNet-32 (CIFAR-10) and ResNet-50 (ILSVRC) from Table 1.
+
+The CIFAR-style ResNet follows He et al.: three stages of ``n`` basic blocks
+with 16/32/64 channels (ResNet-32 has ``n = 5``), global average pooling and a
+linear classifier.  The ImageNet-style ResNet-50 uses bottleneck blocks with a
+(3, 4, 6, 3) stage layout.  Both accept a ``width_multiplier`` and arbitrary
+input resolution so the scaled variants used for CPU convergence runs share the
+exact same code path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RandomState
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection (CIFAR ResNets)."""
+
+    expansion = 1
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = F.add(out, self.shortcut(x))
+        return self.relu2(out)
+
+
+class BottleneckBlock(Module):
+    """1x1 → 3x3 → 1x1 bottleneck with a residual connection (ResNet-50)."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        base_channels: int,
+        stride: int = 1,
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        super().__init__()
+        out_channels = base_channels * self.expansion
+        self.conv1 = Conv2d(in_channels, base_channels, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(base_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(base_channels, base_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(base_channels)
+        self.relu2 = ReLU()
+        self.conv3 = Conv2d(base_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu3 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.relu2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        out = F.add(out, self.shortcut(x))
+        return self.relu3(out)
+
+
+class ResNet(Module):
+    """Configurable residual network covering both CIFAR and ImageNet styles."""
+
+    def __init__(
+        self,
+        block_type: str,
+        stage_blocks: Sequence[int],
+        stage_channels: Sequence[int],
+        num_classes: int,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        imagenet_stem: bool = False,
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        super().__init__()
+        if block_type not in ("basic", "bottleneck"):
+            raise ValueError(f"unknown block type {block_type!r}")
+        if len(stage_blocks) != len(stage_channels):
+            raise ValueError("stage_blocks and stage_channels must have the same length")
+
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        block_cls = BasicBlock if block_type == "basic" else BottleneckBlock
+        channels = [max(4, int(round(c * width_multiplier))) for c in stage_channels]
+
+        stem_channels = channels[0] if block_type == "basic" else max(8, int(round(64 * width_multiplier)))
+        if imagenet_stem:
+            self.stem = Sequential(
+                Conv2d(in_channels, stem_channels, 7, stride=2, padding=3, bias=False, rng=rng),
+                BatchNorm2d(stem_channels),
+                ReLU(),
+                MaxPool2d(3, stride=2),
+            )
+        else:
+            self.stem = Sequential(
+                Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, bias=False, rng=rng),
+                BatchNorm2d(stem_channels),
+                ReLU(),
+            )
+
+        stages: List[Sequential] = []
+        current = stem_channels
+        for stage_index, (num_blocks, base) in enumerate(zip(stage_blocks, channels)):
+            blocks: List[Module] = []
+            for block_index in range(num_blocks):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                if block_type == "basic":
+                    blocks.append(BasicBlock(current, base, stride=stride, rng=rng))
+                    current = base
+                else:
+                    blocks.append(BottleneckBlock(current, base, stride=stride, rng=rng))
+                    current = base * BottleneckBlock.expansion
+            stages.append(Sequential(*blocks))
+        self.stages = Sequential(*stages)
+
+        self.head = Sequential(GlobalAvgPool2d(), Flatten(), Linear(current, num_classes, rng=rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.stages(self.stem(x)))
+
+
+def resnet32(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    blocks_per_stage: int = 5,
+    rng: Optional[RandomState] = None,
+) -> ResNet:
+    """ResNet-32 for CIFAR-10 (3 stages x 5 basic blocks, 16/32/64 channels)."""
+    return ResNet(
+        block_type="basic",
+        stage_blocks=[blocks_per_stage] * 3,
+        stage_channels=[16, 32, 64],
+        num_classes=num_classes,
+        in_channels=in_channels,
+        width_multiplier=width_multiplier,
+        imagenet_stem=False,
+        rng=rng,
+    )
+
+
+def resnet50(
+    num_classes: int = 1000,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    stage_blocks: Sequence[int] = (3, 4, 6, 3),
+    rng: Optional[RandomState] = None,
+) -> ResNet:
+    """ResNet-50 for ILSVRC-2012 (bottleneck blocks, (3, 4, 6, 3) layout)."""
+    return ResNet(
+        block_type="bottleneck",
+        stage_blocks=list(stage_blocks),
+        stage_channels=[64, 128, 256, 512],
+        num_classes=num_classes,
+        in_channels=in_channels,
+        width_multiplier=width_multiplier,
+        imagenet_stem=True,
+        rng=rng,
+    )

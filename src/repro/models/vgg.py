@@ -1,0 +1,97 @@
+"""VGG-16, the shallow/high-dimension model trained on CIFAR-100 in the paper."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import RandomState
+
+# Standard VGG-16 configuration: channel counts with 'M' marking max-pool layers.
+VGG16_CONFIG: List[Union[int, str]] = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+]
+
+
+class VGG(Module):
+    """VGG-style network with batch normalisation after every convolution."""
+
+    def __init__(
+        self,
+        config: Sequence[Union[int, str]],
+        num_classes: int = 100,
+        in_channels: int = 3,
+        input_size: int = 32,
+        width_multiplier: float = 1.0,
+        dropout: float = 0.5,
+        classifier_width: int = 512,
+        rng: Optional[RandomState] = None,
+    ) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.input_size = input_size
+
+        layers: List[Module] = []
+        channels = in_channels
+        spatial = input_size
+        for entry in config:
+            if entry == "M":
+                if spatial < 2:
+                    continue
+                layers.append(MaxPool2d(2))
+                spatial //= 2
+            else:
+                out_channels = max(4, int(round(int(entry) * width_multiplier)))
+                layers.append(Conv2d(channels, out_channels, 3, padding=1, bias=False, rng=rng))
+                layers.append(BatchNorm2d(out_channels))
+                layers.append(ReLU())
+                channels = out_channels
+        self.features = Sequential(*layers)
+
+        hidden = max(16, int(round(classifier_width * width_multiplier)))
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(channels * spatial * spatial, hidden, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg16(
+    num_classes: int = 100,
+    in_channels: int = 3,
+    input_size: int = 32,
+    width_multiplier: float = 1.0,
+    dropout: float = 0.5,
+    rng: Optional[RandomState] = None,
+) -> VGG:
+    """VGG-16 with batch norm, as used for CIFAR-100 in the paper."""
+    return VGG(
+        VGG16_CONFIG,
+        num_classes=num_classes,
+        in_channels=in_channels,
+        input_size=input_size,
+        width_multiplier=width_multiplier,
+        dropout=dropout,
+        rng=rng,
+    )

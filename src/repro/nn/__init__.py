@@ -1,0 +1,42 @@
+"""Neural-network layer API built on :mod:`repro.tensor`.
+
+This mirrors the layer/operator vocabulary that the Crossbow paper's benchmark
+models (LeNet, ResNet-32/50, VGG-16) are built from.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.metrics import accuracy, top_k_accuracy
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "CrossEntropyLoss",
+    "accuracy",
+    "top_k_accuracy",
+]

@@ -1,0 +1,23 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean softmax cross-entropy over integer class labels.
+
+    This is the training loss used for every benchmark model in the paper
+    (image classification on MNIST, CIFAR-10/100 and ILSVRC-2012).
+    """
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"

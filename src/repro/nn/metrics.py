@@ -1,0 +1,35 @@
+"""Accuracy metrics used to define the paper's time-to-accuracy targets."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _logits_array(logits: Union[Tensor, np.ndarray]) -> np.ndarray:
+    return logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    scores = _logits_array(logits)
+    targets = np.asarray(targets).reshape(-1)
+    if scores.shape[0] != targets.shape[0]:
+        raise ValueError(
+            f"accuracy got {scores.shape[0]} predictions but {targets.shape[0]} targets"
+        )
+    predictions = scores.argmax(axis=-1)
+    return float((predictions == targets).mean())
+
+
+def top_k_accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray, k: int = 5) -> float:
+    """Top-k classification accuracy in [0, 1]."""
+    scores = _logits_array(logits)
+    targets = np.asarray(targets).reshape(-1)
+    k = min(k, scores.shape[-1])
+    top_k = np.argsort(scores, axis=-1)[:, -k:]
+    hits = (top_k == targets[:, None]).any(axis=1)
+    return float(hits.mean())

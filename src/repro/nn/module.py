@@ -1,0 +1,217 @@
+"""Module/parameter containers, the building blocks of every model replica.
+
+A Crossbow *model replica* is just a :class:`Module` instance whose parameters
+live in their own memory.  Replicas are cloned, flattened into contiguous
+vectors (the paper keeps weights and gradients in contiguous memory, §4.4) and
+exchanged with the synchronisation algorithms via
+:meth:`Module.parameter_vector` / :meth:`Module.load_parameter_vector`.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a trainable model weight (always requires grad)."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter`, buffer arrays and child ``Module``
+    instances as attributes; registration happens automatically through
+    ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute registration -------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, array: np.ndarray) -> None:
+        """Register a non-trainable state array (e.g. batch-norm running stats)."""
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    # -- forward -----------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- traversal ----------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buf
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_buffers(child_prefix)
+
+    # -- train / eval mode ----------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradients -------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # -- serialisation ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter and buffer keyed by dotted path."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"buffer:{name}"] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load a state dict produced by :meth:`state_dict` (shapes must match)."""
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                name = key[len("buffer:") :]
+                if name not in buffers:
+                    raise KeyError(f"unknown buffer {name!r} in state dict")
+                buffers[name][...] = value
+            else:
+                if key not in params:
+                    raise KeyError(f"unknown parameter {key!r} in state dict")
+                if params[key].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key!r}: model has {params[key].data.shape}, "
+                        f"state dict has {value.shape}"
+                    )
+                params[key].data[...] = value
+
+    # -- flat-vector view (used by SMA / replica synchronisation) -----------------------
+    def num_parameters(self) -> int:
+        return int(sum(param.data.size for param in self.parameters()))
+
+    def parameter_vector(self) -> np.ndarray:
+        """Concatenate all parameters into one contiguous float32 vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate([param.data.reshape(-1) for param in params])
+
+    def load_parameter_vector(self, vector: np.ndarray) -> None:
+        """Scatter a flat vector back into the individual parameter arrays."""
+        expected = self.num_parameters()
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        if vector.size != expected:
+            raise ValueError(
+                f"parameter vector has {vector.size} elements, model expects {expected}"
+            )
+        offset = 0
+        for param in self.parameters():
+            size = param.data.size
+            param.data[...] = vector[offset : offset + size].reshape(param.data.shape)
+            offset += size
+
+    def gradient_vector(self) -> np.ndarray:
+        """Concatenate all gradients into one vector (zeros where grad is None)."""
+        chunks = []
+        for param in self.parameters():
+            if param.grad is None:
+                chunks.append(np.zeros(param.data.size, dtype=np.float32))
+            else:
+                chunks.append(param.grad.reshape(-1))
+        if not chunks:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate(chunks)
+
+    def clone(self) -> "Module":
+        """Deep-copy the module (fresh parameter memory, same values)."""
+        return copy.deepcopy(self)
+
+    def parameter_bytes(self) -> int:
+        """Model size in bytes (float32), the quantity reported in Table 1."""
+        return self.num_parameters() * 4
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {module!r}" for name, module in self._modules.items()]
+        if not child_lines:
+            return f"{type(self).__name__}()"
+        body = "\n".join(child_lines)
+        return f"{type(self).__name__}(\n{body}\n)"
+
+
+class Sequential(Module):
+    """Run child modules in order, feeding each output to the next layer."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layer_names: List[str] = []
+        for index, layer in enumerate(layers):
+            name = f"layer{index}"
+            setattr(self, name, layer)
+            self.layer_names.append(name)
+
+    def forward(self, x):
+        for name in self.layer_names:
+            x = getattr(self, name)(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layer_names)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self.layer_names)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self.layer_names[index])
+
+    def append(self, layer: Module) -> "Sequential":
+        name = f"layer{len(self.layer_names)}"
+        setattr(self, name, layer)
+        self.layer_names.append(name)
+        return self

@@ -1,0 +1,45 @@
+"""Optimisers and synchronisation algorithms.
+
+* :class:`~repro.optim.sgd.SGD` — mini-batch gradient descent with Polyak
+  momentum and weight decay (Eq. 3 of the paper), used by every learner and by
+  the S-SGD baseline.
+* :class:`~repro.optim.sma.SMA` — synchronous model averaging, the paper's
+  Algorithm 1 and core contribution.
+* :class:`~repro.optim.easgd.EASGD` — elastic averaging SGD, the baseline the
+  paper compares SMA against in §5.5.
+* :mod:`~repro.optim.schedules` — learning-rate schedules (step decay for
+  ResNet-32, halving for VGG, warm-up) shared by all trainers.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.schedules import (
+    ConstantSchedule,
+    LearningRateSchedule,
+    MultiStepSchedule,
+    StepDecaySchedule,
+    WarmupSchedule,
+    schedule_for_model,
+)
+from repro.optim.sma import SMA, SMAConfig
+from repro.optim.easgd import EASGD, EASGDConfig
+from repro.optim.asgd import ASGD, StalenessModel
+from repro.optim.averaging import polyak_ruppert_average
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "MultiStepSchedule",
+    "WarmupSchedule",
+    "schedule_for_model",
+    "SMA",
+    "SMAConfig",
+    "EASGD",
+    "EASGDConfig",
+    "ASGD",
+    "StalenessModel",
+    "polyak_ruppert_average",
+]

@@ -1,0 +1,115 @@
+"""Asynchronous SGD (A-SGD), the stale-gradient baseline discussed in §2.3.
+
+The paper contrasts synchronous training with asynchronous SGD, where a worker
+applies its partial gradient to the shared model as soon as it is available and
+immediately continues with the next batch, using whatever model version it can
+see.  This produces *stale* gradients: the model may have moved by several
+updates between the moment a worker read it and the moment its gradient is
+applied.  The paper argues (and §5 demonstrates for S-SGD vs Crossbow) that this
+staleness hurts statistical efficiency for deep models, which is why Crossbow is
+synchronous.
+
+This module provides a faithful, single-process model of A-SGD so the claim can
+be examined: a :class:`StalenessModel` decides how stale each worker's view is,
+and :class:`ASGD` applies updates computed against those stale snapshots.  It is
+used by the asynchrony ablation benchmark and the test suite; it is not part of
+the Crossbow training path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomState
+
+
+@dataclass
+class StalenessModel:
+    """How far behind the latest model a worker's snapshot is, in update counts.
+
+    ``expected_staleness`` is the mean number of updates applied by other
+    workers between a worker reading the model and writing its gradient; with
+    ``num_workers`` workers and no coordination this is about
+    ``num_workers - 1``.  ``jitter`` adds variability.
+    """
+
+    num_workers: int
+    expected_staleness: Optional[float] = None
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError("A-SGD needs at least one worker")
+        if self.expected_staleness is None:
+            self.expected_staleness = float(self.num_workers - 1)
+        if self.expected_staleness < 0:
+            raise ConfigurationError("expected staleness must be non-negative")
+
+    def sample(self, rng: RandomState) -> int:
+        """Draw the staleness (in updates) of one gradient."""
+        if self.expected_staleness == 0:
+            return 0
+        raw = rng.normal(loc=self.expected_staleness, scale=self.jitter * self.expected_staleness)
+        return int(max(0.0, round(float(raw))))
+
+
+class ASGD:
+    """Asynchronous SGD over a flat parameter vector with simulated staleness.
+
+    The central model keeps a bounded history of its recent versions; each
+    worker update is computed against a historical version chosen by the
+    staleness model and then applied to the *latest* version — exactly the
+    Hogwild-style race the paper describes.
+    """
+
+    def __init__(
+        self,
+        initial_model: np.ndarray,
+        num_workers: int,
+        learning_rate: float = 0.1,
+        staleness: Optional[StalenessModel] = None,
+        history: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigurationError("A-SGD needs at least one worker")
+        if learning_rate <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.center = np.array(initial_model, dtype=np.float32, copy=True)
+        self.num_workers = num_workers
+        self.learning_rate = learning_rate
+        self.staleness = staleness if staleness is not None else StalenessModel(num_workers)
+        self.rng = RandomState(seed, name="asgd")
+        self._history: Deque[np.ndarray] = deque(maxlen=max(2, history))
+        self._history.append(self.center.copy())
+        self.updates_applied = 0
+        self.observed_staleness: List[int] = []
+
+    def snapshot_for_worker(self) -> np.ndarray:
+        """The (possibly stale) model version a worker reads before computing."""
+        lag = self.staleness.sample(self.rng)
+        lag = min(lag, len(self._history) - 1)
+        self.observed_staleness.append(lag)
+        return self._history[-1 - lag].copy()
+
+    def apply_gradient(self, gradient: np.ndarray) -> np.ndarray:
+        """Apply one worker's gradient to the latest model (no coordination)."""
+        gradient = np.asarray(gradient, dtype=np.float32)
+        if gradient.shape != self.center.shape:
+            raise ConfigurationError(
+                f"gradient has shape {gradient.shape}, model has {self.center.shape}"
+            )
+        self.center = self.center - self.learning_rate * gradient
+        self._history.append(self.center.copy())
+        self.updates_applied += 1
+        return self.center
+
+    def mean_observed_staleness(self) -> float:
+        if not self.observed_staleness:
+            return 0.0
+        return float(np.mean(self.observed_staleness))

@@ -1,0 +1,58 @@
+"""Classic (asynchronous) model-averaging utilities.
+
+Polyak–Ruppert averaging is the ancestor of SMA discussed in the related-work
+section of the paper: the average of the SGD iterates converges asymptotically
+faster than the iterates themselves.  It is included both for completeness and
+because the test suite uses it to check that SMA's central model variance is
+lower than the individual replicas' (the property §3.2 relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def polyak_ruppert_average(iterates: Sequence[np.ndarray], burn_in: int = 0) -> np.ndarray:
+    """Average of SGD iterates after discarding the first ``burn_in`` of them."""
+    iterates = list(iterates)
+    if not iterates:
+        raise ConfigurationError("cannot average an empty sequence of iterates")
+    if burn_in >= len(iterates):
+        raise ConfigurationError("burn-in discards every iterate")
+    kept = iterates[burn_in:]
+    return np.mean(np.stack([np.asarray(w, dtype=np.float32) for w in kept]), axis=0)
+
+
+class RunningAverage:
+    """Streaming average of parameter vectors (constant memory)."""
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None
+        self.count = 0
+
+    def update(self, value: np.ndarray) -> np.ndarray:
+        value = np.asarray(value, dtype=np.float32)
+        self.count += 1
+        if self._mean is None:
+            self._mean = value.copy()
+        else:
+            self._mean += (value - self._mean) / self.count
+        return self._mean
+
+    @property
+    def value(self) -> np.ndarray:
+        if self._mean is None:
+            raise ConfigurationError("running average has no observations yet")
+        return self._mean
+
+
+def replica_variance(replicas: Iterable[np.ndarray]) -> float:
+    """Mean per-coordinate variance across a set of replica parameter vectors."""
+    stacked = np.stack([np.asarray(r, dtype=np.float32) for r in replicas])
+    if stacked.shape[0] < 2:
+        return 0.0
+    return float(stacked.var(axis=0).mean())

@@ -1,0 +1,41 @@
+"""Base optimiser interface operating on a module's parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Optimizer:
+    """Base class: owns a list of parameters and per-parameter state."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.params: List[Parameter] = module.parameters()
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        self.iteration = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict:
+        """Serialise optimiser state (keyed by parameter position)."""
+        serialised = {}
+        for index, param in enumerate(self.params):
+            entry = self.state.get(id(param))
+            if entry is not None:
+                serialised[index] = {key: value.copy() for key, value in entry.items()}
+        return {"iteration": self.iteration, "state": serialised}
+
+    def load_state_dict(self, payload: Dict) -> None:
+        self.iteration = payload.get("iteration", 0)
+        for index, entry in payload.get("state", {}).items():
+            param = self.params[int(index)]
+            self.state[id(param)] = {key: value.copy() for key, value in entry.items()}

@@ -1,0 +1,140 @@
+"""Synchronous model averaging (SMA) — Algorithm 1 of the paper.
+
+``k`` learners each train their own model replica ``w_j``.  In every iteration
+each learner computes a gradient ``g_j`` on its own batch, computes a
+correction ``c_j = α (w_j − z)`` against the central average model ``z``,
+and updates its replica with ``w_j ← w_j − g_j − c_j``.  The central average
+model then moves by the sum of all corrections plus a Polyak momentum term:
+``z ← z + Σ_j c_j + µ (z − z_prev)``.
+
+The implementation operates on *flat parameter vectors* so it is agnostic to
+the model architecture; the task engine wires it to the per-replica modules.
+It also supports the two refinements described in §3.2/§3.3 of the paper:
+
+* ``synchronisation_period`` (τ): corrections are applied every τ iterations —
+  τ = 1 in Crossbow, larger values only exist for the Figure 16/17 experiments,
+* ``restart()``: re-initialise the averaging process from the current central
+  average model (used when a learning-rate change does not improve accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SMAConfig:
+    """Hyper-parameters of the SMA synchronisation algorithm."""
+
+    momentum: float = 0.9
+    alpha: Optional[float] = None  # defaults to 1/k at construction time
+    synchronisation_period: int = 1  # τ; the paper always uses 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.momentum < 1.0:
+            raise ConfigurationError("SMA momentum must be in [0, 1)")
+        if self.alpha is not None and not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError("SMA alpha must be in (0, 1]")
+        if self.synchronisation_period < 1:
+            raise ConfigurationError("synchronisation period τ must be >= 1")
+
+
+class SMA:
+    """State and update rule of synchronous model averaging.
+
+    Parameters
+    ----------
+    initial_model:
+        Flat parameter vector ``w_0`` used to initialise the central average
+        model; replicas are expected to start from the same vector.
+    num_replicas:
+        The number of learners ``k`` whose corrections are consolidated.
+    config:
+        Algorithm hyper-parameters (momentum µ, correction weight α, period τ).
+    """
+
+    def __init__(
+        self,
+        initial_model: np.ndarray,
+        num_replicas: int,
+        config: Optional[SMAConfig] = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ConfigurationError("SMA needs at least one replica")
+        self.config = config if config is not None else SMAConfig()
+        self.num_replicas = num_replicas
+        self.alpha = self.config.alpha if self.config.alpha is not None else 1.0 / num_replicas
+        self.center = np.array(initial_model, dtype=np.float32, copy=True)
+        self._previous_center = self.center.copy()
+        self.iteration = 0
+        self.restarts = 0
+
+    # -- per-replica correction -------------------------------------------------------
+    def correction(self, replica: np.ndarray) -> np.ndarray:
+        """The correction ``c_j = α (w_j − z)`` for one replica (line 9 of Alg. 1)."""
+        return self.alpha * (np.asarray(replica, dtype=np.float32) - self.center)
+
+    def should_synchronise(self) -> bool:
+        """Whether corrections are exchanged this iteration (τ-periodic)."""
+        return (self.iteration + 1) % self.config.synchronisation_period == 0
+
+    # -- central model update ----------------------------------------------------------
+    def apply_corrections(self, corrections: Sequence[np.ndarray]) -> np.ndarray:
+        """Advance the central average model with the replicas' corrections.
+
+        Implements line 12 of Algorithm 1:
+        ``z ← z + Σ_j c_j + µ (z − z_prev)``.  Returns the new central model.
+        """
+        if len(corrections) != self.num_replicas:
+            raise ConfigurationError(
+                f"expected {self.num_replicas} corrections, got {len(corrections)}"
+            )
+        previous = self.center.copy()
+        total_correction = np.sum(np.stack([np.asarray(c, dtype=np.float32) for c in corrections]), axis=0)
+        momentum_term = self.config.momentum * (self.center - self._previous_center)
+        self.center = self.center + total_correction + momentum_term
+        self._previous_center = previous
+        self.iteration += 1
+        return self.center
+
+    def step(self, replicas: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Convenience driver used by the reference (non-engine) training loop.
+
+        Given the replicas *after* their local gradient updates, computes each
+        correction, applies it to the replica, updates the central model and
+        returns the corrected replicas.  When τ > 1 and this is not a
+        synchronisation iteration, replicas are returned unchanged.
+        """
+        if len(replicas) != self.num_replicas:
+            raise ConfigurationError(
+                f"expected {self.num_replicas} replicas, got {len(replicas)}"
+            )
+        if not self.should_synchronise():
+            self.iteration += 1
+            return [np.asarray(r, dtype=np.float32) for r in replicas]
+        corrections = [self.correction(replica) for replica in replicas]
+        corrected = [
+            np.asarray(replica, dtype=np.float32) - correction
+            for replica, correction in zip(replicas, corrections)
+        ]
+        self.apply_corrections(corrections)
+        return corrected
+
+    # -- restart (hyper-parameter changes, §3.2) -----------------------------------------
+    def restart(self, initial_model: Optional[np.ndarray] = None) -> None:
+        """Restart the averaging process from the current (or given) central model."""
+        if initial_model is not None:
+            self.center = np.array(initial_model, dtype=np.float32, copy=True)
+        self._previous_center = self.center.copy()
+        self.restarts += 1
+
+    # -- introspection --------------------------------------------------------------------
+    def divergence(self, replicas: Sequence[np.ndarray]) -> float:
+        """Mean L2 distance between the replicas and the central average model."""
+        distances = [float(np.linalg.norm(np.asarray(r) - self.center)) for r in replicas]
+        return float(np.mean(distances)) if distances else 0.0

@@ -1,0 +1,667 @@
+"""Differentiable operators used by the models in the Crossbow paper.
+
+Every public function takes :class:`~repro.tensor.tensor.Tensor` inputs and
+returns a :class:`Tensor` connected to the autograd graph.  Convolution and
+pooling use an im2col lowering so the heavy lifting stays inside NumPy matrix
+multiplies, which keeps the scaled convergence experiments fast enough to run
+on a CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Function, Tensor, unbroadcast
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "power",
+    "matmul",
+    "linear",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "exp",
+    "log",
+    "reshape",
+    "transpose",
+    "sum",
+    "mean",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "batch_norm",
+    "dropout",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "pad2d",
+]
+
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+class _Add(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad, a_shape), unbroadcast(grad, b_shape)
+
+
+class _Sub(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad):
+        a_shape, b_shape = self.saved
+        return unbroadcast(grad, a_shape), unbroadcast(-grad, b_shape)
+
+
+class _Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+
+
+class _Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.saved
+        grad_a = grad / b
+        grad_b = -grad * a / (b * b)
+        return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+
+
+class _Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (-grad,)
+
+
+class _Power(Function):
+    def forward(self, a, exponent: float):
+        self.save_for_backward(a, exponent)
+        return a**exponent
+
+    def backward(self, grad):
+        a, exponent = self.saved
+        return (grad * exponent * a ** (exponent - 1),)
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    return _Add.apply(a, b)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    return _Sub.apply(a, b)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    return _Mul.apply(a, b)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    return _Div.apply(a, b)
+
+
+def neg(a: Tensor) -> Tensor:
+    return _Neg.apply(a)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    return _Power.apply(a, exponent=exponent)
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+class _MatMul(Function):
+    def forward(self, a, b):
+        if a.ndim < 1 or b.ndim < 1:
+            raise ShapeError("matmul requires at least 1-d operands")
+        self.save_for_backward(a, b)
+        return a @ b
+
+    def backward(self, grad):
+        a, b = self.saved
+        grad_a = grad @ np.swapaxes(b, -1, -2)
+        grad_b = np.swapaxes(a, -1, -2) @ grad
+        return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return _MatMul.apply(a, b)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = matmul(x, transpose(weight))
+    if bias is not None:
+        out = add(out, bias)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Activations and pointwise non-linearities
+# ---------------------------------------------------------------------------
+class _ReLU(Function):
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class _Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out * (1.0 - out),)
+
+
+class _Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * (1.0 - out * out),)
+
+
+class _Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out,)
+
+
+class _Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / a,)
+
+
+def relu(a: Tensor) -> Tensor:
+    return _ReLU.apply(a)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    return _Sigmoid.apply(a)
+
+
+def tanh(a: Tensor) -> Tensor:
+    return _Tanh.apply(a)
+
+
+def exp(a: Tensor) -> Tensor:
+    return _Exp.apply(a)
+
+
+def log(a: Tensor) -> Tensor:
+    return _Log.apply(a)
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation and reductions
+# ---------------------------------------------------------------------------
+class _Reshape(Function):
+    def forward(self, a, shape):
+        self.save_for_backward(a.shape)
+        return a.reshape(shape)
+
+    def backward(self, grad):
+        (original,) = self.saved
+        return (grad.reshape(original),)
+
+
+class _Transpose(Function):
+    def forward(self, a, axes):
+        if axes is None:
+            axes = tuple(reversed(range(a.ndim)))
+        self.save_for_backward(axes)
+        return np.transpose(a, axes)
+
+    def backward(self, grad):
+        (axes,) = self.saved
+        inverse = np.argsort(axes)
+        return (np.transpose(grad, inverse),)
+
+
+class _Sum(Function):
+    def forward(self, a, axis, keepdims):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(a % len(shape) for a in axes):
+                grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape).astype(np.float32),)
+
+
+class _Mean(Function):
+    def forward(self, a, axis, keepdims):
+        self.save_for_backward(a.shape, axis, keepdims, a.size)
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims, total = self.saved
+        if axis is None:
+            count = total
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= shape[ax % len(shape)]
+            if not keepdims:
+                for ax in sorted(a % len(shape) for a in axes):
+                    grad = np.expand_dims(grad, ax)
+        return (np.broadcast_to(grad, shape).astype(np.float32) / count,)
+
+
+def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
+    return _Reshape.apply(a, shape=tuple(shape))
+
+
+def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    return _Transpose.apply(a, axes=tuple(axes) if axes is not None else None)
+
+
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001 - mirrors numpy
+    return _Sum.apply(a, axis=axis, keepdims=keepdims)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return _Mean.apply(a, axis=axis, keepdims=keepdims)
+
+
+# ---------------------------------------------------------------------------
+# Convolution and pooling (NCHW layout)
+# ---------------------------------------------------------------------------
+def _im2col_indices(x_shape, kernel_h, kernel_w, stride, padding):
+    batch, channels, height, width = x_shape
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"convolution output would be empty for input {x_shape}, "
+            f"kernel ({kernel_h},{kernel_w}), stride {stride}, padding {padding}"
+        )
+
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(x, kernel_h, kernel_w, stride, padding):
+    pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    x_padded = np.pad(x, pad_width, mode="constant") if padding > 0 else x
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
+    cols = x_padded[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    return cols, out_h, out_w
+
+
+def _col2im(cols, x_shape, kernel_h, kernel_w, stride, padding):
+    batch, channels, height, width = x_shape
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    x_padded = np.zeros((batch, channels, padded_h, padded_w), dtype=cols.dtype)
+    k, i, j, _, _ = _im2col_indices(x_shape, kernel_h, kernel_w, stride, padding)
+    np.add.at(x_padded, (slice(None), k, i, j), cols)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+class _Conv2d(Function):
+    def forward(self, x, weight, bias, stride: int, padding: int):
+        out_channels, in_channels, kernel_h, kernel_w = weight.shape
+        if x.shape[1] != in_channels:
+            raise ShapeError(
+                f"conv2d input has {x.shape[1]} channels but weight expects {in_channels}"
+            )
+        cols, out_h, out_w = _im2col(x, kernel_h, kernel_w, stride, padding)
+        w_mat = weight.reshape(out_channels, -1)
+        out = np.einsum("of,nfp->nop", w_mat, cols, optimize=True)
+        if bias is not None:
+            out = out + bias.reshape(1, -1, 1)
+        out = out.reshape(x.shape[0], out_channels, out_h, out_w)
+        self.save_for_backward(x.shape, weight, cols, stride, padding, bias is not None)
+        return out
+
+    def backward(self, grad):
+        x_shape, weight, cols, stride, padding, has_bias = self.saved
+        out_channels, in_channels, kernel_h, kernel_w = weight.shape
+        batch = grad.shape[0]
+        grad_mat = grad.reshape(batch, out_channels, -1)  # (N, O, P)
+
+        grad_bias = grad_mat.sum(axis=(0, 2)) if has_bias else None
+        grad_weight = np.einsum("nop,nfp->of", grad_mat, cols, optimize=True)
+        grad_weight = grad_weight.reshape(weight.shape)
+
+        w_mat = weight.reshape(out_channels, -1)
+        grad_cols = np.einsum("of,nop->nfp", w_mat, grad_mat, optimize=True)
+        grad_x = _col2im(grad_cols, x_shape, kernel_h, kernel_w, stride, padding)
+
+        grads = [grad_x, grad_weight]
+        if has_bias:
+            grads.append(grad_bias)
+        return tuple(grads[: len(self.parents)])
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-d convolution over an NCHW input."""
+    if bias is None:
+        return _Conv2d.apply(x, weight, stride=stride, padding=padding, bias=None)
+    return _Conv2d.apply(x, weight, bias, stride=stride, padding=padding)
+
+
+class _MaxPool2d(Function):
+    def forward(self, x, kernel_size: int, stride: int):
+        batch, channels, height, width = x.shape
+        out_h = (height - kernel_size) // stride + 1
+        out_w = (width - kernel_size) // stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(f"max_pool2d output would be empty for input {x.shape}")
+        x_reshaped = x.reshape(batch * channels, 1, height, width)
+        cols, _, _ = _im2col(x_reshaped, kernel_size, kernel_size, stride, 0)
+        # cols: (N*C, k*k, out_h*out_w)
+        argmax = cols.argmax(axis=1)
+        out = cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+        self.save_for_backward(x.shape, cols.shape, argmax, kernel_size, stride)
+        return out
+
+    def backward(self, grad):
+        x_shape, cols_shape, argmax, kernel_size, stride = self.saved
+        batch, channels, height, width = x_shape
+        grad_flat = grad.reshape(batch * channels, -1)
+        grad_cols = np.zeros(cols_shape, dtype=np.float32)
+        rows = np.arange(cols_shape[0])[:, None]
+        positions = np.arange(cols_shape[2])[None, :]
+        grad_cols[rows, argmax, positions] = grad_flat
+        grad_x = _col2im(
+            grad_cols, (batch * channels, 1, height, width), kernel_size, kernel_size, stride, 0
+        )
+        return (grad_x.reshape(x_shape),)
+
+
+class _AvgPool2d(Function):
+    def forward(self, x, kernel_size: int, stride: int):
+        batch, channels, height, width = x.shape
+        out_h = (height - kernel_size) // stride + 1
+        out_w = (width - kernel_size) // stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(f"avg_pool2d output would be empty for input {x.shape}")
+        x_reshaped = x.reshape(batch * channels, 1, height, width)
+        cols, _, _ = _im2col(x_reshaped, kernel_size, kernel_size, stride, 0)
+        out = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+        self.save_for_backward(x.shape, cols.shape, kernel_size, stride)
+        return out
+
+    def backward(self, grad):
+        x_shape, cols_shape, kernel_size, stride = self.saved
+        batch, channels, height, width = x_shape
+        grad_flat = grad.reshape(batch * channels, 1, -1)
+        grad_cols = np.broadcast_to(grad_flat / (kernel_size * kernel_size), cols_shape)
+        grad_x = _col2im(
+            np.ascontiguousarray(grad_cols),
+            (batch * channels, 1, height, width),
+            kernel_size,
+            kernel_size,
+            stride,
+            0,
+        )
+        return (grad_x.reshape(x_shape),)
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    return _MaxPool2d.apply(x, kernel_size=kernel_size, stride=stride or kernel_size)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    return _AvgPool2d.apply(x, kernel_size=kernel_size, stride=stride or kernel_size)
+
+
+class _Pad2d(Function):
+    def forward(self, x, padding: int):
+        self.save_for_backward(padding)
+        return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    def backward(self, grad):
+        (padding,) = self.saved
+        if padding == 0:
+            return (grad,)
+        return (grad[:, :, padding:-padding, padding:-padding],)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+    return _Pad2d.apply(x, padding=padding)
+
+
+# ---------------------------------------------------------------------------
+# Batch normalisation
+# ---------------------------------------------------------------------------
+class _BatchNorm(Function):
+    """Batch normalisation over the channel axis of (N, C) or (N, C, H, W) input."""
+
+    def forward(self, x, gamma, beta, eps: float, mean_in, var_in):
+        axes = (0,) if x.ndim == 2 else (0, 2, 3)
+        if mean_in is None:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+        else:
+            shape = (1, -1) if x.ndim == 2 else (1, -1, 1, 1)
+            mean = mean_in.reshape(shape)
+            var = var_in.reshape(shape)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        x_hat = (x - mean) * inv_std
+        shape = (1, -1) if x.ndim == 2 else (1, -1, 1, 1)
+        out = gamma.reshape(shape) * x_hat + beta.reshape(shape)
+        self.save_for_backward(x_hat, inv_std, gamma, axes, shape)
+        self.batch_mean = mean.reshape(-1)
+        self.batch_var = var.reshape(-1)
+        return out
+
+    def backward(self, grad):
+        x_hat, inv_std, gamma, axes, shape = self.saved
+        count = np.prod([x_hat.shape[a] for a in axes])
+        grad_gamma = (grad * x_hat).sum(axis=axes)
+        grad_beta = grad.sum(axis=axes)
+        grad_xhat = grad * gamma.reshape(shape)
+        grad_x = (
+            inv_std
+            / count
+            * (
+                count * grad_xhat
+                - grad_xhat.sum(axis=axes, keepdims=True)
+                - x_hat * (grad_xhat * x_hat).sum(axis=axes, keepdims=True)
+            )
+        )
+        return grad_x, grad_gamma, grad_beta
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: Optional[np.ndarray] = None,
+    running_var: Optional[np.ndarray] = None,
+    training: bool = True,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation with optional running-statistics update.
+
+    ``running_mean``/``running_var`` are plain NumPy buffers owned by the
+    calling layer; they are updated in place when ``training`` is true.
+    """
+    if training or running_mean is None:
+        out = _BatchNorm.apply(x, gamma, beta, eps=eps, mean_in=None, var_in=None)
+        if training and running_mean is not None and out._ctx is not None:
+            ctx = out._ctx
+            running_mean *= 1.0 - momentum
+            running_mean += momentum * ctx.batch_mean
+            running_var *= 1.0 - momentum
+            running_var += momentum * ctx.batch_var
+        return out
+    return _BatchNorm.apply(x, gamma, beta, eps=eps, mean_in=running_mean, var_in=running_var)
+
+
+# ---------------------------------------------------------------------------
+# Dropout
+# ---------------------------------------------------------------------------
+class _Dropout(Function):
+    def forward(self, x, p: float, mask):
+        self.save_for_backward(mask)
+        return x * mask
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+def dropout(x: Tensor, p: float, training: bool = True, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)`` at training time."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return _Dropout.apply(x, p=p, mask=mask)
+
+
+# ---------------------------------------------------------------------------
+# Softmax / losses
+# ---------------------------------------------------------------------------
+def _softmax_forward(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+class _Softmax(Function):
+    def forward(self, logits):
+        probs = _softmax_forward(logits)
+        self.save_for_backward(probs)
+        return probs
+
+    def backward(self, grad):
+        (probs,) = self.saved
+        dot = (grad * probs).sum(axis=-1, keepdims=True)
+        return (probs * (grad - dot),)
+
+
+class _LogSoftmax(Function):
+    def forward(self, logits):
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        self.save_for_backward(np.exp(log_probs))
+        return log_probs
+
+    def backward(self, grad):
+        (probs,) = self.saved
+        return (grad - probs * grad.sum(axis=-1, keepdims=True),)
+
+
+class _CrossEntropy(Function):
+    """Fused softmax + negative log-likelihood, averaged over the batch."""
+
+    def forward(self, logits, targets):
+        if logits.ndim != 2:
+            raise ShapeError(f"cross_entropy expects (N, C) logits, got {logits.shape}")
+        targets = np.asarray(targets).astype(np.int64).reshape(-1)
+        if targets.shape[0] != logits.shape[0]:
+            raise ShapeError(
+                f"cross_entropy got {logits.shape[0]} logits rows but {targets.shape[0]} targets"
+            )
+        probs = _softmax_forward(logits)
+        batch = logits.shape[0]
+        clipped = np.clip(probs[np.arange(batch), targets], 1e-12, None)
+        loss = -np.log(clipped).mean()
+        self.save_for_backward(probs, targets)
+        return np.asarray(loss, dtype=np.float32)
+
+    def backward(self, grad):
+        probs, targets = self.saved
+        batch = probs.shape[0]
+        grad_logits = probs.copy()
+        grad_logits[np.arange(batch), targets] -= 1.0
+        grad_logits /= batch
+        return (grad_logits * grad,)
+
+
+def softmax(logits: Tensor) -> Tensor:
+    return _Softmax.apply(logits)
+
+
+def log_softmax(logits: Tensor) -> Tensor:
+    return _LogSoftmax.apply(logits)
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, Sequence[int]]) -> Tensor:
+    """Mean softmax cross-entropy loss over a batch of integer class labels."""
+    return _CrossEntropy.apply(logits, targets=np.asarray(targets))
+
+
+def nll_loss(log_probs: Tensor, targets: Union[np.ndarray, Sequence[int]]) -> Tensor:
+    """Negative log-likelihood of integer targets given log-probabilities."""
+    targets = np.asarray(targets).astype(np.int64).reshape(-1)
+    batch = log_probs.shape[0]
+    one_hot = np.zeros(log_probs.shape, dtype=np.float32)
+    one_hot[np.arange(batch), targets] = -1.0 / batch
+    picked = mul(log_probs, Tensor(one_hot))
+    return sum(picked)

@@ -1,0 +1,66 @@
+"""Numerical gradient checking used by the test suite.
+
+``gradcheck`` compares analytic gradients produced by the autograd engine with
+central finite differences.  The convolution / batch-norm / pooling operators
+are validated this way, which is what lets us trust the statistical-efficiency
+results built on top of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    epsilon: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. ``inputs[index]``."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - epsilon
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+    epsilon: float = 1e-3,
+) -> bool:
+    """Return True if analytic and numerical gradients agree for every input.
+
+    Raises ``AssertionError`` with a helpful message on the first mismatch.
+    """
+    output = fn(*inputs)
+    summed = output.sum() if output.data.size != 1 else output
+    for tensor in inputs:
+        tensor.grad = None
+    summed.backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, inputs, index, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = float(np.abs(analytic - numeric).max())
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.2e}"
+            )
+    return True

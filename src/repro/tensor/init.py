@@ -1,0 +1,102 @@
+"""Weight initialisers.
+
+The paper keeps the model-variable initialisation identical between Crossbow and
+the TensorFlow baseline to enable a fair comparison; the same initialisers are
+shared by every trainer here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState
+
+__all__ = [
+    "zeros",
+    "ones",
+    "constant",
+    "normal",
+    "uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "compute_fans",
+]
+
+
+def _rng(rng: Optional[RandomState]) -> np.random.Generator:
+    return rng.generator if rng is not None else np.random.default_rng()
+
+
+def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for dense or convolutional weight shapes.
+
+    Dense weights are ``(out_features, in_features)``; convolution weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive_field = 1
+    for dim in shape[2:]:
+        receptive_field *= dim
+    fan_in = shape[1] * receptive_field
+    fan_out = shape[0] * receptive_field
+    return fan_in, fan_out
+
+
+def zeros(shape: Tuple[int, ...], rng: Optional[RandomState] = None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...], rng: Optional[RandomState] = None) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def constant(shape: Tuple[int, ...], value: float, rng: Optional[RandomState] = None) -> np.ndarray:
+    return np.full(shape, value, dtype=np.float32)
+
+
+def normal(
+    shape: Tuple[int, ...], std: float = 0.01, rng: Optional[RandomState] = None
+) -> np.ndarray:
+    return _rng(rng).normal(0.0, std, size=shape).astype(np.float32)
+
+
+def uniform(
+    shape: Tuple[int, ...], low: float = -0.05, high: float = 0.05, rng: Optional[RandomState] = None
+) -> np.ndarray:
+    return _rng(rng).uniform(low, high, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[RandomState] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = compute_fans(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(rng).uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[RandomState] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = compute_fans(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return _rng(rng).normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[RandomState] = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (suited to ReLU networks)."""
+    fan_in, _ = compute_fans(shape)
+    limit = math.sqrt(6.0 / fan_in)
+    return _rng(rng).uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: Optional[RandomState] = None) -> np.ndarray:
+    """He/Kaiming normal initialisation (used by the ResNet family)."""
+    fan_in, _ = compute_fans(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return _rng(rng).normal(0.0, std, size=shape).astype(np.float32)

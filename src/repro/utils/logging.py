@@ -1,0 +1,29 @@
+"""Logging configuration shared across the library."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_configured = False
+
+
+def configure(level: int = logging.INFO) -> None:
+    """Configure the root ``repro`` logger once."""
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(level)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger of the ``repro`` namespace."""
+    configure()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

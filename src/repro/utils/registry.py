@@ -1,0 +1,68 @@
+"""A small string-keyed registry used for models, datasets and workloads."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry:
+    """Maps names to factory callables.
+
+    Used by :mod:`repro.models` and :mod:`repro.data` so that experiment
+    configurations can refer to components by name (``"resnet32"``,
+    ``"cifar10"``) rather than importing constructors directly.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable = None):
+        """Register ``factory`` under ``name``.
+
+        Can be used directly (``registry.register("x", fn)``) or as a decorator
+        (``@registry.register("x")``).
+        """
+        if factory is not None:
+            self._register(name, factory)
+            return factory
+
+        def decorator(fn: Callable) -> Callable:
+            self._register(name, fn)
+            return fn
+
+        return decorator
+
+    def _register(self, name: str, factory: Callable) -> None:
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = factory
+
+    def get(self, name: str) -> Callable:
+        """Look up a factory, raising ``KeyError`` with the known names on miss."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries))
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}") from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the registered factory."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry(kind={self.kind!r}, entries={self.names()})"

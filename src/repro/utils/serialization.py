@@ -1,0 +1,54 @@
+"""Checkpointing: save and restore models and trainer state as ``.npz`` files.
+
+The original system checkpoints model weights so long runs can resume after a
+learning-rate change or a failure.  Checkpoints here hold the parameters and
+buffers of a module (plus arbitrary scalar metadata such as the epoch and the
+SMA restart count) in NumPy's portable ``.npz`` format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_METADATA_KEY = "__metadata_json__"
+
+
+def save_checkpoint(
+    model: Module,
+    path: Union[str, Path],
+    metadata: Optional[Dict[str, float]] = None,
+) -> Path:
+    """Write the model's parameters, buffers and metadata to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = dict(model.state_dict())
+    payload = json.dumps(metadata or {})
+    arrays[_METADATA_KEY] = np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(
+    model: Module, path: Union[str, Path]
+) -> Tuple[Module, Dict[str, float]]:
+    """Load a checkpoint written by :func:`save_checkpoint` into ``model``.
+
+    Returns the model (for chaining) and the metadata dictionary.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    metadata_blob = arrays.pop(_METADATA_KEY, None)
+    metadata: Dict[str, float] = {}
+    if metadata_blob is not None:
+        metadata = json.loads(bytes(metadata_blob.tolist()).decode("utf-8"))
+    model.load_state_dict(arrays)
+    return model, metadata

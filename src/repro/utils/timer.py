@@ -1,0 +1,41 @@
+"""Wall-clock timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """A simple start/stop timer that accumulates named laps.
+
+    Used by the benchmark harness to report how long each sweep point took in
+    real (host) time, as opposed to the simulated time tracked by
+    :mod:`repro.gpusim`.
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.laps: Dict[str, List[float]] = {}
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self, label: str = "default") -> float:
+        """Stop the timer and record the elapsed time under ``label``."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before Timer.start()")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.laps.setdefault(label, []).append(elapsed)
+        return elapsed
+
+    def total(self, label: str = "default") -> float:
+        return sum(self.laps.get(label, []))
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

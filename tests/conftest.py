@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import create_dataset
+from repro.utils.rng import RandomState
+
+
+@pytest.fixture
+def rng() -> RandomState:
+    """A deterministic random stream for tests."""
+    return RandomState(1234, name="tests")
+
+
+@pytest.fixture
+def blobs_dataset():
+    """A small, easily separable dataset that trains in a fraction of a second."""
+    return create_dataset("blobs", num_train=256, num_test=128, num_classes=4, input_dim=16)
+
+
+@pytest.fixture
+def tiny_image_dataset():
+    """A small synthetic image dataset (3x8x8) for CNN-level tests."""
+    from repro.data.datasets import SyntheticImageDataset
+
+    return SyntheticImageDataset(
+        "tiny", num_classes=3, channels=3, image_size=8, num_train=96, num_test=48, seed=5
+    )
+
+
+@pytest.fixture
+def mlp_model(rng):
+    from repro.models import MLP
+
+    return MLP(input_dim=16, num_classes=4, hidden_sizes=(16,), rng=rng)

@@ -1,0 +1,126 @@
+"""The experiment harness: workloads, reporting and (cheap) figure runners."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    SCALE_PROFILES,
+    WORKLOADS,
+    format_table,
+    run_ablation_memory_plan,
+    run_ablation_scheduler,
+    run_fig2_hardware_efficiency,
+    run_fig17_sync_overhead,
+    run_table1_model_inventory,
+    save_rows,
+    workload_for_model,
+)
+from repro.experiments.figures import run_fig3_statistical_efficiency
+from repro.experiments.workloads import Workload
+
+
+class TestWorkloads:
+    def test_quick_profile_covers_all_four_benchmarks(self):
+        for model in ("lenet", "resnet32", "vgg16", "resnet50"):
+            workload = workload_for_model(model)
+            assert workload.model_name.endswith("-scaled")
+            assert 0 < workload.target_accuracy <= 1
+
+    def test_paper_profile_uses_full_models(self):
+        workload = workload_for_model("resnet32", profile="paper")
+        assert workload.model_name == "resnet32"
+        assert workload.batch_size == 64
+
+    def test_unknown_profile_or_model_raises(self):
+        with pytest.raises(ConfigurationError):
+            workload_for_model("resnet32", profile="huge")
+        with pytest.raises(ConfigurationError):
+            workload_for_model("alexnet")
+
+    def test_scaled_down_copy(self):
+        workload = WORKLOADS["resnet32"].scaled_down(num_train=64, num_test=32, max_epochs=2)
+        assert workload.dataset_overrides["num_train"] == 64
+        assert workload.max_epochs == 2
+        assert isinstance(workload, Workload)
+        # The original is unchanged (frozen dataclass semantics).
+        assert WORKLOADS["resnet32"].max_epochs != 2
+
+
+class TestReporting:
+    def test_format_table_alignment_and_missing_values(self):
+        rows = [
+            {"name": "a", "value": 1.23456, "other": None},
+            {"name": "bb", "value": 7, "other": "x"},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "-" in lines[1]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_save_rows_csv(self, tmp_path: Path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = save_rows(rows, tmp_path / "sub" / "table.csv")
+        assert path.exists()
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert len(content) == 3
+
+
+class TestHardwareOnlyRunners:
+    """Runners that only exercise the simulator: cheap enough to test directly."""
+
+    def test_table1_inventory_rows(self):
+        rows = run_table1_model_inventory()
+        assert len(rows) == 4
+        by_model = {row["model"]: row for row in rows}
+        assert by_model["resnet50"]["model_size_mb"] == pytest.approx(97.49, abs=3.0)
+        assert by_model["resnet32"]["num_operators"] > by_model["vgg16"]["num_operators"]
+
+    def test_fig2_fixed_aggregate_batch_scales_sublinearly(self):
+        rows = run_fig2_hardware_efficiency(
+            gpu_counts=(1, 8), aggregate_batch_sizes=(64, 1024), iterations=20
+        )
+        by_key = {(r["aggregate_batch"], r["gpus"]): r for r in rows}
+        assert by_key[(64, 8)]["speedup_vs_1gpu"] < 4.0
+        assert by_key[(1024, 8)]["speedup_vs_1gpu"] > 4.0
+
+    def test_fig17_synchronisation_overhead_is_modest(self):
+        rows = run_fig17_sync_overhead(replica_counts=(1,), periods=(1, None), iterations=30)
+        by_tau = {row["tau"]: row["throughput_img_s"] for row in rows}
+        assert by_tau["inf"] >= by_tau[1]
+        # §5.6: removing synchronisation entirely buys only a modest improvement.
+        assert by_tau["inf"] < 1.6 * by_tau[1]
+
+    def test_scheduler_ablation_prefers_fcfs_overlap(self):
+        rows = run_ablation_scheduler(iterations=50)
+        by_policy = {row["policy"]: row["throughput_img_s"] for row in rows}
+        assert by_policy["fcfs-overlap"] > by_policy["lockstep"]
+
+    def test_memory_plan_ablation_shows_reuse_savings(self):
+        rows = run_ablation_memory_plan(learners=(2,))
+        by_plan = {(row["plan"], row["learners"]): row for row in rows}
+        assert by_plan[("offline-reuse", 1)]["peak_mb"] < by_plan[("naive", 1)]["peak_mb"]
+        shared = by_plan[("online-shared", 2)]
+        assert shared["peak_mb"] < shared["vs_replicated_naive_mb"]
+
+
+class TestTrainingRunnerSmoke:
+    """One training-based runner executed with a minimal budget."""
+
+    def test_fig3_runner_produces_rows(self):
+        workload = WORKLOADS["mlp"].scaled_down(num_train=128, num_test=64, max_epochs=2)
+        rows = run_fig3_statistical_efficiency(
+            batch_sizes=(16, 64), target_accuracy=0.9, workload=workload, max_epochs=2
+        )
+        assert len(rows) == 2
+        assert {row["batch_size"] for row in rows} == {16, 64}
+        for row in rows:
+            assert row["best_accuracy"] >= 0.0

@@ -1,0 +1,142 @@
+"""Layer behaviour: shapes, train/eval semantics, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    CrossEntropyLoss,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    accuracy,
+    top_k_accuracy,
+)
+from repro.tensor import Tensor
+from repro.utils.rng import RandomState
+
+rng = RandomState(11, name="layer-tests")
+
+
+class TestLayerShapes:
+    def test_linear_shape(self):
+        layer = Linear(8, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 8))))
+        assert out.shape == (5, 3)
+
+    def test_linear_without_bias_has_one_parameter(self):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert len(layer.parameters()) == 1
+
+    def test_conv_shape(self):
+        layer = Conv2d(3, 6, kernel_size=3, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 10, 10))))
+        assert out.shape == (2, 6, 10, 10)
+
+    def test_conv_downsampling_shape(self):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 8, 8, 8)
+
+    def test_pooling_layers(self):
+        x = Tensor(rng.normal(size=(2, 4, 8, 8)))
+        assert MaxPool2d(2)(x).shape == (2, 4, 4, 4)
+        assert AvgPool2d(4)(x).shape == (2, 4, 2, 2)
+        assert GlobalAvgPool2d()(x).shape == (2, 4)
+
+    def test_flatten_and_identity(self):
+        x = Tensor(rng.normal(size=(3, 2, 4, 4)))
+        assert Flatten()(x).shape == (3, 32)
+        np.testing.assert_allclose(Identity()(x).data, x.data)
+
+    def test_relu_clamps_negative(self):
+        out = ReLU()(Tensor(np.array([-1.0, 0.5, 2.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 2.0])
+
+
+class TestBatchNormLayer:
+    def test_training_normalises_and_updates_running_stats(self):
+        layer = BatchNorm2d(3)
+        x = Tensor(rng.normal(loc=4.0, size=(8, 3, 5, 5)))
+        out = layer(x)
+        assert out.shape == x.shape
+        assert not np.allclose(layer.running_mean, 0.0)
+
+    def test_eval_mode_uses_running_stats(self):
+        layer = BatchNorm2d(2)
+        for _ in range(10):
+            layer(Tensor(rng.normal(loc=1.0, size=(16, 2, 4, 4))))
+        layer.eval()
+        x = Tensor(rng.normal(loc=1.0, size=(4, 2, 4, 4)))
+        out_a = layer(x).data
+        out_b = layer(x).data
+        np.testing.assert_allclose(out_a, out_b)  # deterministic in eval mode
+
+
+class TestDropoutLayer:
+    def test_training_zeroes_some_activations(self):
+        layer = Dropout(0.5, rng=rng)
+        out = layer(Tensor(np.ones((100, 100), dtype=np.float32)))
+        assert (out.data == 0).any()
+
+    def test_eval_is_identity(self):
+        layer = Dropout(0.9, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(5, 5)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+
+class TestLossAndMetrics:
+    def test_cross_entropy_loss_module(self):
+        loss_fn = CrossEntropyLoss()
+        logits = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        loss = loss_fn(logits, rng.integers(0, 4, size=6))
+        assert loss.size == 1
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_accuracy_perfect_and_zero(self):
+        logits = np.eye(4, dtype=np.float32) * 10
+        targets = np.arange(4)
+        assert accuracy(logits, targets) == 1.0
+        assert accuracy(logits, (targets + 1) % 4) == 0.0
+
+    def test_accuracy_validates_lengths(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((3, 2)), np.zeros(4))
+
+    def test_top_k_accuracy_is_monotone_in_k(self):
+        logits = rng.normal(size=(50, 10))
+        targets = rng.integers(0, 10, size=50)
+        top1 = top_k_accuracy(logits, targets, k=1)
+        top5 = top_k_accuracy(logits, targets, k=5)
+        top10 = top_k_accuracy(logits, targets, k=10)
+        assert top1 <= top5 <= top10
+        assert top10 == 1.0
+
+    def test_training_reduces_loss_on_small_net(self):
+        from repro.optim import SGD
+
+        net = Sequential(Linear(8, 16, rng=rng), ReLU(), Linear(16, 3, rng=rng))
+        optimizer = SGD(net, learning_rate=0.1, momentum=0.9)
+        loss_fn = CrossEntropyLoss()
+        data = rng.normal(size=(64, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, size=64)
+        first_loss = None
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = loss_fn(net(Tensor(data)), labels)
+            loss.backward()
+            optimizer.step()
+            if first_loss is None:
+                first_loss = float(loss.data)
+        assert float(loss.data) < first_loss * 0.5

@@ -1,0 +1,154 @@
+"""Forward-pass correctness of the functional operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, functional as F
+from repro.utils.rng import RandomState
+
+rng = RandomState(7, name="functional-tests")
+
+
+class TestShapes:
+    def test_conv2d_output_shape(self):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(5, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=1, padding=1)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_conv2d_stride_and_padding_shapes(self):
+        x = Tensor(rng.normal(size=(1, 1, 7, 7)))
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        assert F.conv2d(x, w, stride=2, padding=0).shape == (1, 2, 3, 3)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (1, 2, 4, 4)
+
+    def test_conv2d_channel_mismatch_raises(self):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        with pytest.raises(ShapeError):
+            F.conv2d(x, w)
+
+    def test_conv2d_empty_output_raises(self):
+        x = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        w = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        with pytest.raises(ShapeError):
+            F.conv2d(x, w)
+
+    def test_pool_shapes(self):
+        x = Tensor(rng.normal(size=(2, 4, 8, 8)))
+        assert F.max_pool2d(x, 2).shape == (2, 4, 4, 4)
+        assert F.avg_pool2d(x, 2).shape == (2, 4, 4, 4)
+        assert F.max_pool2d(x, 2, stride=1).shape == (2, 4, 7, 7)
+
+    def test_pad2d_shape(self):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        assert F.pad2d(x, 3).shape == (1, 2, 10, 10)
+
+
+class TestNumericalSemantics:
+    def test_conv2d_matches_direct_convolution(self):
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        out = F.conv2d(x, w, stride=1, padding=0).data[0, 0]
+        expected = np.zeros((3, 3), dtype=np.float32)
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = np.sum(x.data[0, 0, i : i + 3, j : j + 3] * w.data[0, 0])
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_max_pool_picks_maximum(self):
+        data = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(data), 2).data[0, 0]
+        np.testing.assert_allclose(out, [[5, 7], [13, 15]])
+
+    def test_avg_pool_takes_mean(self):
+        data = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(data), 2).data[0, 0]
+        np.testing.assert_allclose(out, [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(rng.normal(scale=3.0, size=(10, 6)))
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), atol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_softmax_is_shift_invariant(self):
+        logits = rng.normal(size=(4, 5)).astype(np.float32)
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_log_softmax_consistent_with_softmax(self):
+        logits = Tensor(rng.normal(size=(3, 7)))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).data, np.log(F.softmax(logits).data + 1e-12), atol=1e-4
+        )
+
+    def test_cross_entropy_of_perfect_prediction_is_small(self):
+        logits = np.full((4, 3), -20.0, dtype=np.float32)
+        targets = np.array([0, 1, 2, 1])
+        logits[np.arange(4), targets] = 20.0
+        loss = F.cross_entropy(Tensor(logits), targets)
+        assert float(loss.data) < 1e-3
+
+    def test_cross_entropy_uniform_prediction_is_log_classes(self):
+        logits = Tensor(np.zeros((6, 8), dtype=np.float32))
+        targets = rng.integers(0, 8, size=6)
+        loss = F.cross_entropy(logits, targets)
+        assert float(loss.data) == pytest.approx(np.log(8), rel=1e-4)
+
+    def test_cross_entropy_shape_validation(self):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ShapeError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_nll_loss_matches_cross_entropy(self):
+        logits = Tensor(rng.normal(size=(5, 4)))
+        targets = rng.integers(0, 4, size=5)
+        ce = F.cross_entropy(logits, targets)
+        nll = F.nll_loss(F.log_softmax(logits), targets)
+        assert float(ce.data) == pytest.approx(float(nll.data), rel=1e-4)
+
+    def test_batch_norm_normalises_training_batch(self):
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(64, 4)))
+        gamma, beta = Tensor(np.ones(4)), Tensor(np.zeros(4))
+        out = F.batch_norm(x, gamma, beta, training=True).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(4), atol=1e-2)
+
+    def test_batch_norm_updates_running_statistics(self):
+        x = Tensor(rng.normal(loc=2.0, size=(32, 3)), requires_grad=True)
+        gamma = Tensor(np.ones(3), requires_grad=True)
+        beta = Tensor(np.zeros(3), requires_grad=True)
+        running_mean = np.zeros(3, dtype=np.float32)
+        running_var = np.ones(3, dtype=np.float32)
+        F.batch_norm(x, gamma, beta, running_mean, running_var, training=True, momentum=0.5)
+        assert not np.allclose(running_mean, 0.0)
+
+    def test_batch_norm_eval_uses_running_statistics(self):
+        x = Tensor(np.full((4, 2), 3.0, dtype=np.float32))
+        gamma, beta = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        running_mean = np.full(2, 3.0, dtype=np.float32)
+        running_var = np.ones(2, dtype=np.float32)
+        out = F.batch_norm(x, gamma, beta, running_mean, running_var, training=False).data
+        np.testing.assert_allclose(out, np.zeros((4, 2)), atol=1e-3)
+
+    def test_dropout_scales_surviving_activations(self):
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = F.dropout(x, p=0.4, training=True, rng=np.random.default_rng(3)).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, np.full_like(kept, 1.0 / 0.6), rtol=1e-5)
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, p=0.9, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_rejects_probability_one(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.0, training=True)
