@@ -14,7 +14,7 @@ hiding the synchronisation cost behind learning tasks.
 """
 
 from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
-from repro.engine.replica import ModelReplica, ReplicaPool
+from repro.engine.replica import ModelReplica, ReplicaBank, ReplicaPool
 from repro.engine.learner import Learner
 from repro.engine.tasks import GlobalSyncTask, LearningTask, LocalSyncTask, TaskKind
 from repro.engine.scheduler import IterationTiming, SchedulingPolicy, TaskScheduler
@@ -38,6 +38,7 @@ __all__ = [
     "TrainingMetrics",
     "TrainingResult",
     "ModelReplica",
+    "ReplicaBank",
     "ReplicaPool",
     "Learner",
     "TaskKind",

@@ -25,7 +25,7 @@ from repro.engine.autotuner import AutoTuner, AutoTunerDecision
 from repro.engine.config import CrossbowConfig
 from repro.engine.learner import Learner
 from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
-from repro.engine.replica import ModelReplica, ReplicaPool
+from repro.engine.replica import ModelReplica, ReplicaBank, ReplicaPool
 from repro.engine.scheduler import SchedulingPolicy, TaskScheduler
 from repro.engine.task_manager import TaskManager
 from repro.errors import ConfigurationError
@@ -101,7 +101,21 @@ class CrossbowTrainer:
         self.task_manager = TaskManager(window=max(4, config.auto_tune_interval))
 
         # Replicas and learners ------------------------------------------------------------
-        self.replica_pool = ReplicaPool()
+        # All replica weights live in one persistent (k, P) bank so the SMA
+        # iteration runs as fused matrix ops.  With auto-tuning, rows are
+        # pre-allocated up to the tuner's ceiling so grow/shrink never
+        # reallocates mid-training; without it, only the fixed learner count
+        # is allocated (the bank can still grow geometrically on demand).
+        num_parameters = self.initial_model.num_parameters()
+        max_learners = config.num_gpus * (
+            config.max_replicas_per_gpu if config.auto_tune else config.replicas_per_gpu
+        )
+        self.replica_bank = ReplicaBank(num_parameters, capacity=max_learners)
+        self.replica_pool = ReplicaPool(bank=self.replica_bank)
+        self._update_matrix = np.zeros((max_learners, num_parameters), dtype=np.float32)
+        # Scratch for the weight-decay term, allocated lazily on first use so
+        # the hot path stays allocation-free without taxing decay-free runs.
+        self._decay_matrix = np.zeros((0, num_parameters), dtype=np.float32)
         self.learners: List[Learner] = []
         for gpu in self.server.gpus:
             for _ in range(config.replicas_per_gpu):
@@ -138,10 +152,12 @@ class CrossbowTrainer:
             )
         # "none" still uses the SMA container for the central model but with α=0,
         # so replicas never receive corrections (used by the τ=∞ ablation).
+        # SMAConfig accepts α=0 directly; an explicitly configured sma_alpha=0.0
+        # is honoured rather than rewritten to a near-zero sentinel.
         alpha = 0.0 if self.config.synchronisation == "none" else self.config.sma_alpha
         config = SMAConfig(
             momentum=self.config.sma_momentum,
-            alpha=alpha if alpha not in (None, 0.0) else (None if alpha is None else 1e-12),
+            alpha=alpha,
             synchronisation_period=self.config.synchronisation_period,
         )
         return SMA(center, num_replicas, config)
@@ -237,29 +253,32 @@ class CrossbowTrainer:
         """Execute one SMA iteration: k learning tasks + synchronisation tasks."""
         synchronise = self.synchroniser.should_synchronise()
         replicas = [learner.replica for learner in self.learners]
+        k = len(self.learners)
+        if len(batches) != k:
+            # The fused update spans all k bank rows, so a short batch list
+            # would silently re-apply stale gradient rows to the tail replicas.
+            raise ConfigurationError(
+                f"iteration needs one batch per learner: got {len(batches)} batches "
+                f"for {k} learners"
+            )
 
-        # Numeric part: gradients, corrections, replica and central model updates.
-        losses: List[float] = []
-        corrections: List[np.ndarray] = []
-        gradient_updates: List[np.ndarray] = []
-        for learner, batch in zip(self.learners, batches):
-            gradient, loss = learner.compute_gradient(batch)
-            losses.append(loss)
-            weights = learner.replica.vector()
-            scaled_gradient = self._last_lr * gradient
-            if self.weight_decay:
-                scaled_gradient = scaled_gradient + self._last_lr * self.weight_decay * weights
-            correction = self.synchroniser.correction(weights) if synchronise else 0.0
-            update = scaled_gradient + correction
-            learner.replica.load_vector(weights - update)
-            gradient_updates.append(scaled_gradient)
-            if synchronise:
-                corrections.append(correction)
+        # Numeric part: gather every learner's gradient into one (k, P) matrix,
+        # then apply local updates, corrections and the central-model move as
+        # fused matrix ops on the replica bank — no per-learner flatten or
+        # unflatten round trips (the bank rows *are* the replica weights).
+        weights = self.replica_bank.active_matrix()
+        updates = self._update_rows(k)
+        losses = np.empty(k, dtype=np.float64)
+        for index, (learner, batch) in enumerate(zip(self.learners, batches)):
+            _, loss = learner.compute_gradient(batch, out=updates[index])
+            losses[index] = loss
             learner.replica.iterations_processed += 1
-        if synchronise:
-            self.synchroniser.apply_corrections(corrections)
-        else:
-            self.synchroniser.iteration += 1
+        np.multiply(updates, self._last_lr, out=updates)
+        if self.weight_decay:
+            decay = self._decay_rows(k)
+            np.multiply(weights, self._last_lr * self.weight_decay, out=decay)
+            updates += decay
+        self.synchroniser.step_matrix(weights, updates)
 
         # Hardware part: schedule the corresponding tasks on the simulated server.
         timing = self.scheduler.schedule_iteration(
@@ -271,6 +290,22 @@ class CrossbowTrainer:
         self.task_manager.handle_completion(timing, num_learning_tasks=len(self.learners))
         self._iteration += 1
         return float(np.mean(losses))
+
+    def _update_rows(self, k: int) -> np.ndarray:
+        """The first ``k`` rows of the persistent (k, P) update scratch matrix."""
+        if k > self._update_matrix.shape[0]:
+            self._update_matrix = np.zeros(
+                (k, self._update_matrix.shape[1]), dtype=np.float32
+            )
+        return self._update_matrix[:k]
+
+    def _decay_rows(self, k: int) -> np.ndarray:
+        """The first ``k`` rows of the persistent weight-decay scratch matrix."""
+        if k > self._decay_matrix.shape[0]:
+            self._decay_matrix = np.zeros(
+                (k, self._update_matrix.shape[1]), dtype=np.float32
+            )
+        return self._decay_matrix[:k]
 
     # ------------------------------------------------------------------------ auto-tuning
     def _maybe_autotune(self) -> None:
@@ -288,46 +323,65 @@ class CrossbowTrainer:
             self._shrink_learners()
 
     def _grow_learners(self) -> None:
-        """Add one learner per GPU, initialised from the central average model (§4.4)."""
+        """Add one learner per GPU, initialised from the central average model (§4.4).
+
+        The pool stays locked across the whole resize: checkouts are rejected
+        until every new learner is registered, and the lock is released exactly
+        once even if a mid-resize step raises.
+        """
         self.scheduler.barrier()
-        self.replica_pool.lock()
-        try:
+        with self.replica_pool.locked():
             center = np.array(self.synchroniser.center, copy=True)
-            self.replica_pool.unlock()
             for gpu in self.server.gpus:
                 model = self.initial_model.clone()
                 model.load_parameter_vector(center)
                 self._add_learner_on_gpu(gpu.gpu_id, model)
-        finally:
-            self.replica_pool.unlock()
-        self._rebuild_synchroniser_preserving_center()
-        self.task_manager.reset_window()
+        self._finish_resize()
         logger.debug("auto-tuner: grew to %d learners per GPU", self.autotuner.learners_per_gpu)
 
     def _shrink_learners(self) -> None:
-        """Remove one learner per GPU (the most recently added one)."""
+        """Remove one learner per GPU (the most recently added one).
+
+        Removed replicas are deregistered from the task scheduler (so barriers
+        never iterate stale ready-time entries) and their GPU learner streams
+        are retired for reuse by a later grow, so grow/shrink oscillation
+        leaks neither scheduler state nor streams.
+        """
         self.scheduler.barrier()
-        removed_ids: List[int] = []
-        for gpu in self.server.gpus:
-            replica = self.replica_pool.remove_last_on_gpu(gpu.gpu_id)
-            if replica is not None:
-                removed_ids.append(replica.replica_id)
-        if removed_ids:
+        removed: List[ModelReplica] = []
+        with self.replica_pool.locked():
+            for gpu in self.server.gpus:
+                replica = self.replica_pool.remove_last_on_gpu(gpu.gpu_id)
+                if replica is not None:
+                    removed.append(replica)
+        if removed:
+            removed_ids = {replica.replica_id for replica in removed}
             self.learners = [
                 learner for learner in self.learners if learner.replica.replica_id not in removed_ids
             ]
+            for replica in removed:
+                self.scheduler.deregister_replica(replica)
+                self.server.gpu(replica.gpu_id).retire_learner_stream(replica.stream_id)
+        self._finish_resize()
+        logger.debug("auto-tuner: shrank to %d learners per GPU", self.autotuner.learners_per_gpu)
+
+    def _finish_resize(self) -> None:
+        """Re-pack the bank into learner order and rebuild the synchroniser."""
+        self.replica_bank.pack([learner.replica for learner in self.learners])
         self._rebuild_synchroniser_preserving_center()
         self.task_manager.reset_window()
-        logger.debug("auto-tuner: shrank to %d learners per GPU", self.autotuner.learners_per_gpu)
 
     def _rebuild_synchroniser_preserving_center(self) -> None:
         center = np.array(self.synchroniser.center, copy=True)
         previous_iterations = self.synchroniser.iteration
+        previous_restarts = getattr(self.synchroniser, "restarts", 0)
         self.synchroniser = self._build_synchroniser(len(self.learners))
         self.synchroniser.center = center
         if hasattr(self.synchroniser, "_previous_center"):
             self.synchroniser._previous_center = center.copy()
         self.synchroniser.iteration = previous_iterations
+        if hasattr(self.synchroniser, "restarts"):
+            self.synchroniser.restarts = previous_restarts
 
     # ------------------------------------------------------------------------ schedule / restart
     def _apply_schedule(self, epoch: int) -> None:

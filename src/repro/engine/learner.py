@@ -38,11 +38,15 @@ class Learner:
     def stream_id(self) -> int:
         return self.replica.stream_id
 
-    def compute_gradient(self, batch: Batch) -> Tuple[np.ndarray, float]:
+    def compute_gradient(
+        self, batch: Batch, out: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, float]:
         """Run forward + backward on ``batch`` and return (flat gradient, loss).
 
         The replica's weights are *not* modified; the caller combines the
         gradient with the SMA correction and applies both (Algorithm 1 line 10).
+        ``out`` gathers the gradient into a pre-allocated row of the trainer's
+        ``(k, P)`` gradient matrix instead of allocating a fresh vector.
         """
         model = self.replica.model
         model.train(True)
@@ -50,7 +54,7 @@ class Learner:
         logits = model(Tensor(batch.images))
         loss = self.loss_fn(logits, batch.labels)
         loss.backward()
-        gradient = model.gradient_vector()
+        gradient = model.gradient_vector(out=out)
         self.batches_processed += 1
         self.last_loss = float(loss.data)
         return gradient, self.last_loss

@@ -1,14 +1,21 @@
-"""Model replicas and the replica pool managed by the task manager.
+"""Model replicas, the replica bank, and the pool managed by the task manager.
 
 Every learner owns one model replica.  Replicas are created from a shared
 initial model (or, when the auto-tuner adds a learner mid-training, from the
 latest central average model), live on one GPU, and cycle between the pool and
 the learners as iterations are scheduled (§4.1, steps 2–4).
+
+The :class:`ReplicaBank` keeps all replica weights in one persistent ``(k, P)``
+float32 matrix (the paper stores replica weights in contiguous device memory,
+§4.4).  Each replica's module parameters are *views* into its bank row, so the
+synchronisation algorithms can update every replica with fused matrix
+operations instead of per-replica flatten/unflatten round trips.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,10 +32,16 @@ class ModelReplica:
         self.gpu_id = gpu_id
         self.stream_id = stream_id
         self.iterations_processed = 0
+        self.bank: Optional["ReplicaBank"] = None
+        self.bank_row: Optional[int] = None
 
     # -- flat views used by the synchronisation algorithms --------------------------------
     def vector(self) -> np.ndarray:
         return self.model.parameter_vector()
+
+    def view(self) -> np.ndarray:
+        """Zero-copy flat weight view when bank-backed (else a fresh vector)."""
+        return self.model.parameter_vector(copy=False)
 
     def load_vector(self, vector: np.ndarray) -> None:
         self.model.load_parameter_vector(vector)
@@ -40,26 +53,145 @@ class ModelReplica:
         return f"ModelReplica(id={self.replica_id}, gpu={self.gpu_id}, stream={self.stream_id})"
 
 
+class ReplicaBank:
+    """A persistent ``(capacity, P)`` float32 matrix backing all replica weights.
+
+    Active replicas always occupy the dense row prefix ``[0, len(bank))``, so
+    :meth:`active_matrix` is a zero-copy contiguous ``(k, P)`` view suitable
+    for the fused ``SMA.step_matrix`` / ``EASGD.step_matrix`` updates.  Rows
+    are recycled on detach (swap-with-last) and the matrix grows geometrically
+    when the auto-tuner exceeds the pre-allocated capacity, so a resize is
+    O(k·P) once rather than per-iteration work.
+    """
+
+    def __init__(self, num_parameters: int, capacity: int = 1) -> None:
+        if num_parameters < 0:
+            raise SchedulingError("replica bank needs a non-negative parameter count")
+        self.num_parameters = int(num_parameters)
+        self._matrix = np.zeros((max(int(capacity), 1), self.num_parameters), dtype=np.float32)
+        self._owners: List[ModelReplica] = []
+
+    # -- views ---------------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def active_matrix(self) -> np.ndarray:
+        """Zero-copy ``(k, P)`` view of every active replica's weights."""
+        return self._matrix[: len(self._owners)]
+
+    def row_view(self, row: int) -> np.ndarray:
+        if not 0 <= row < len(self._owners):
+            raise SchedulingError(f"bank row {row} is not active")
+        return self._matrix[row]
+
+    def owners(self) -> List[ModelReplica]:
+        return list(self._owners)
+
+    # -- membership ----------------------------------------------------------------------
+    def attach(self, replica: ModelReplica) -> int:
+        """Move a replica's weights into the bank; its parameters become row views."""
+        if replica.bank is not None:
+            raise SchedulingError(f"replica {replica.replica_id} is already bank-backed")
+        if replica.num_parameters() != self.num_parameters:
+            raise SchedulingError(
+                f"replica has {replica.num_parameters()} parameters, "
+                f"bank rows hold {self.num_parameters}"
+            )
+        row = len(self._owners)
+        if row == self.capacity:
+            self._grow(max(1, 2 * self.capacity))
+        self._owners.append(replica)
+        self._bind(replica, row)
+        return row
+
+    def detach(self, replica: ModelReplica) -> None:
+        """Evict a replica; its model gets private memory and the row is recycled."""
+        row = replica.bank_row
+        if replica.bank is not self or row is None or self._owners[row] is not replica:
+            raise SchedulingError(f"replica {replica.replica_id} is not in this bank")
+        replica.model.detach_parameter_storage()
+        replica.bank = None
+        replica.bank_row = None
+        last = len(self._owners) - 1
+        if row != last:
+            # Keep the active prefix dense: move the last row into the hole.
+            moved = self._owners[last]
+            self._matrix[row] = self._matrix[last]
+            self._owners[row] = moved
+            self._bind(moved, row)
+        self._owners.pop()
+
+    def pack(self, replicas: Sequence[ModelReplica]) -> None:
+        """Reorder rows so that ``replicas[i]`` occupies row ``i``.
+
+        Called after an auto-tuner resize so the bank's row order matches the
+        trainer's learner order, keeping :meth:`active_matrix` usable without
+        per-iteration gather/scatter.  No-op when already in order.
+        """
+        if len(replicas) != len(self._owners) or set(id(r) for r in replicas) != set(
+            id(r) for r in self._owners
+        ):
+            raise SchedulingError("pack() must receive exactly the bank's active replicas")
+        if all(self._owners[i] is replica for i, replica in enumerate(replicas)):
+            return
+        for replica in replicas:
+            replica.model.detach_parameter_storage()
+            replica.bank = None
+            replica.bank_row = None
+        self._owners = []
+        for replica in replicas:
+            self._owners.append(replica)
+            self._bind(replica, len(self._owners) - 1)
+
+    # -- internals -----------------------------------------------------------------------
+    def _bind(self, replica: ModelReplica, row: int) -> None:
+        replica.model.attach_parameter_storage(self._matrix[row])
+        replica.bank = self
+        replica.bank_row = row
+
+    def _grow(self, new_capacity: int) -> None:
+        old = self._matrix
+        self._matrix = np.zeros((new_capacity, self.num_parameters), dtype=np.float32)
+        self._matrix[: len(self._owners)] = old[: len(self._owners)]
+        for row, replica in enumerate(self._owners):
+            self._bind(replica, row)
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+
 class ReplicaPool:
     """The pool of model replicas the task scheduler draws from.
 
     Replicas are checked out when a learning task is scheduled and checked back
     in when the task manager handles the completion event.  The auto-tuner
-    resizes the pool at iteration boundaries (§4.4) while holding it locked.
+    resizes the pool at iteration boundaries (§4.4) while holding it locked via
+    :meth:`locked`, which blocks checkouts but lets the lock holder add and
+    remove replicas.  When constructed with a :class:`ReplicaBank`, every
+    replica added to the pool is bank-backed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bank: Optional[ReplicaBank] = None) -> None:
         self._replicas: Dict[int, ModelReplica] = {}
         self._available: List[int] = []
         self._locked = False
+        self._resizing = False
         self._next_id = 0
+        self._bank = bank
+
+    @property
+    def bank(self) -> Optional[ReplicaBank]:
+        return self._bank
 
     # -- pool management -----------------------------------------------------------------
     def add(self, model: Module, gpu_id: int, stream_id: int) -> ModelReplica:
         """Register a new replica (initially available)."""
-        if self._locked:
+        if self._locked and not self._resizing:
             raise SchedulingError("replica pool is locked for resizing")
         replica = ModelReplica(self._next_id, model, gpu_id, stream_id)
+        if self._bank is not None:
+            self._bank.attach(replica)
         self._replicas[replica.replica_id] = replica
         self._available.append(replica.replica_id)
         self._next_id += 1
@@ -67,11 +199,15 @@ class ReplicaPool:
 
     def remove_last_on_gpu(self, gpu_id: int) -> Optional[ModelReplica]:
         """Remove the most recently added available replica on ``gpu_id`` (shrink)."""
+        if self._locked and not self._resizing:
+            raise SchedulingError("replica pool is locked for resizing")
         for replica_id in reversed(self._available):
             replica = self._replicas[replica_id]
             if replica.gpu_id == gpu_id:
                 self._available.remove(replica_id)
                 del self._replicas[replica_id]
+                if self._bank is not None and replica.bank is self._bank:
+                    self._bank.detach(replica)
                 return replica
         return None
 
@@ -80,6 +216,24 @@ class ReplicaPool:
 
     def unlock(self) -> None:
         self._locked = False
+
+    @contextlib.contextmanager
+    def locked(self) -> Iterator["ReplicaPool"]:
+        """Hold the pool locked across an auto-tuner resize.
+
+        While held, checkouts (:meth:`acquire`) are rejected but the holder may
+        add and remove replicas — the whole point of the resize.  The lock is
+        released exactly once, on exit, even if the resize raises.
+        """
+        if self._locked:
+            raise SchedulingError("replica pool is already locked")
+        self._locked = True
+        self._resizing = True
+        try:
+            yield self
+        finally:
+            self._resizing = False
+            self._locked = False
 
     # -- checkout cycle --------------------------------------------------------------------
     def acquire(self, gpu_id: Optional[int] = None) -> ModelReplica:

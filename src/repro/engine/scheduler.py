@@ -95,6 +95,19 @@ class TaskScheduler:
             ready_time if ready_time is not None else self.now()
         )
 
+    def deregister_replica(self, replica) -> None:
+        """Forget a replica removed by the auto-tuner (accepts a replica or its id).
+
+        Without this, :meth:`barrier` keeps iterating stale ready-time entries
+        for every replica the auto-tuner ever removed.
+        """
+        replica_id = replica.replica_id if isinstance(replica, ModelReplica) else int(replica)
+        self._replica_ready.pop(replica_id, None)
+
+    def registered_replica_ids(self) -> List[int]:
+        """Ids of every replica the scheduler currently tracks (for tests/inspection)."""
+        return sorted(self._replica_ready)
+
     def now(self) -> float:
         return self.server.now()
 

@@ -117,6 +117,7 @@ class Gpu:
         self.spec = spec if spec is not None else GpuSpec()
         self._next_stream_id = 0
         self.streams: Dict[int, Stream] = {}
+        self._retired_learner_streams: List[Stream] = []
         self.copy_engine = self._new_stream(kind="copy")
         self.sync_stream = self._new_stream(kind="sync")
 
@@ -127,8 +128,26 @@ class Gpu:
         return stream
 
     def add_learner_stream(self) -> Stream:
-        """Create a new learner stream (used when the auto-tuner adds a learner)."""
+        """A learner stream for a new learner, reusing a retired one when possible.
+
+        Without reuse, auto-tuner grow/shrink oscillation leaks one stream per
+        cycle per GPU (retired streams would pile up in ``streams`` forever).
+        """
+        if self._retired_learner_streams:
+            stream = self._retired_learner_streams.pop()
+            stream.kind = "learner"
+            return stream
         return self._new_stream(kind="learner")
+
+    def retire_learner_stream(self, stream_id: int) -> None:
+        """Park a learner stream for reuse when its learner is removed."""
+        stream = self.streams.get(stream_id)
+        if stream is None or stream.kind != "learner":
+            raise SchedulingError(
+                f"stream {stream_id} on GPU {self.gpu_id} is not an active learner stream"
+            )
+        stream.kind = "retired"
+        self._retired_learner_streams.append(stream)
 
     def learner_streams(self) -> List[Stream]:
         return [s for s in self.streams.values() if s.kind == "learner"]

@@ -37,6 +37,7 @@ class Module:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_buffers", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_flat_parameters", None)
         object.__setattr__(self, "training", True)
 
     # -- attribute registration -------------------------------------------------
@@ -136,8 +137,56 @@ class Module:
     def num_parameters(self) -> int:
         return int(sum(param.data.size for param in self.parameters()))
 
-    def parameter_vector(self) -> np.ndarray:
-        """Concatenate all parameters into one contiguous float32 vector."""
+    def has_attached_storage(self) -> bool:
+        """Whether the parameters are views into an external flat buffer."""
+        return getattr(self, "_flat_parameters", None) is not None
+
+    def attach_parameter_storage(self, flat: np.ndarray) -> "Module":
+        """Rebind every parameter to a view into ``flat`` (the replica bank row).
+
+        ``flat`` must be a contiguous float32 vector of exactly
+        :meth:`num_parameters` elements.  The module's current parameter values
+        are copied into ``flat`` first, so the rebinding is value-preserving.
+        Afterwards ``flat`` is the single source of truth for the weights:
+        writing into it (e.g. a fused ``(k, P)`` SMA update) is immediately
+        visible to the forward pass, and in-place optimiser updates
+        (``param.data += ...``) write straight into ``flat``.
+        """
+        flat = np.asarray(flat)
+        expected = self.num_parameters()
+        if flat.ndim != 1 or flat.size != expected:
+            raise ValueError(
+                f"flat storage has shape {flat.shape}, model expects ({expected},)"
+            )
+        if flat.dtype != np.float32 or not flat.flags["C_CONTIGUOUS"]:
+            raise ValueError("flat storage must be contiguous float32")
+        offset = 0
+        for param in self.parameters():
+            size = param.data.size
+            view = flat[offset : offset + size].reshape(param.data.shape)
+            view[...] = param.data
+            param.data = view
+            offset += size
+        object.__setattr__(self, "_flat_parameters", flat)
+        return self
+
+    def detach_parameter_storage(self) -> "Module":
+        """Give every parameter back its own private memory (undo attach)."""
+        for param in self.parameters():
+            param.data = np.array(param.data, dtype=np.float32, copy=True)
+        object.__setattr__(self, "_flat_parameters", None)
+        return self
+
+    def parameter_vector(self, copy: bool = True) -> np.ndarray:
+        """All parameters as one contiguous float32 vector.
+
+        With attached flat storage this is a single block copy — or, with
+        ``copy=False``, the zero-copy storage view itself (mutating it mutates
+        the model).  Without attached storage a fresh array is always returned.
+        """
+        flat = getattr(self, "_flat_parameters", None)
+        if flat is not None:
+            return flat.copy() if copy else flat
         params = self.parameters()
         if not params:
             return np.zeros(0, dtype=np.float32)
@@ -151,27 +200,49 @@ class Module:
             raise ValueError(
                 f"parameter vector has {vector.size} elements, model expects {expected}"
             )
+        flat = getattr(self, "_flat_parameters", None)
+        if flat is not None:
+            if vector is not flat:
+                flat[...] = vector
+            return
         offset = 0
         for param in self.parameters():
             size = param.data.size
             param.data[...] = vector[offset : offset + size].reshape(param.data.shape)
             offset += size
 
-    def gradient_vector(self) -> np.ndarray:
-        """Concatenate all gradients into one vector (zeros where grad is None)."""
-        chunks = []
+    def gradient_vector(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """All gradients as one flat vector (zeros where grad is None).
+
+        ``out`` lets callers gather gradients into a pre-allocated buffer (a
+        row of the trainer's ``(k, P)`` gradient matrix) without allocating.
+        """
+        expected = self.num_parameters()
+        if out is None:
+            out = np.empty(expected, dtype=np.float32)
+        elif out.shape != (expected,) or out.dtype != np.float32:
+            raise ValueError(
+                f"gradient buffer has shape {out.shape}/{out.dtype}, "
+                f"expected ({expected},) float32"
+            )
+        offset = 0
         for param in self.parameters():
+            size = param.data.size
+            chunk = out[offset : offset + size]
             if param.grad is None:
-                chunks.append(np.zeros(param.data.size, dtype=np.float32))
+                chunk[...] = 0.0
             else:
-                chunks.append(param.grad.reshape(-1))
-        if not chunks:
-            return np.zeros(0, dtype=np.float32)
-        return np.concatenate(chunks)
+                chunk[...] = param.grad.reshape(-1)
+            offset += size
+        return out
 
     def clone(self) -> "Module":
         """Deep-copy the module (fresh parameter memory, same values)."""
-        return copy.deepcopy(self)
+        cloned = copy.deepcopy(self)
+        # deepcopy materialises each parameter view as private memory, so the
+        # clone must not keep claiming it aliases the original's flat storage.
+        object.__setattr__(cloned, "_flat_parameters", None)
+        return cloned
 
     def parameter_bytes(self) -> int:
         """Model size in bytes (float32), the quantity reported in Table 1."""

@@ -90,6 +90,40 @@ class EASGD:
         self.apply_corrections(corrections)
         return corrected
 
+    def step_matrix(
+        self, weights: np.ndarray, updates: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One fused EA-SGD iteration over a ``(k, P)`` replica bank.
+
+        Mirrors :meth:`SMA.step_matrix` minus the momentum term: with
+        ``C = ρ (W − z)``, applies ``z ← z + C.sum(0)`` and ``W ← W − (U + C)``
+        in place.  Returns the new central model.
+        """
+        if not isinstance(weights, np.ndarray):
+            # np.asarray would copy a list of rows and the in-place update
+            # below would silently mutate the copy, not the caller's replicas.
+            raise ConfigurationError("step_matrix requires an ndarray updated in place")
+        if weights.ndim != 2 or weights.shape[0] != self.num_replicas:
+            raise ConfigurationError(
+                f"expected a ({self.num_replicas}, P) weight matrix, got {weights.shape}"
+            )
+        if updates is not None and updates.shape != weights.shape:
+            raise ConfigurationError(
+                f"update matrix has shape {updates.shape}, expected {weights.shape}"
+            )
+        if not self.should_synchronise():
+            if updates is not None:
+                weights -= updates
+            self.iteration += 1
+            return self.center
+        corrections = self.elasticity * (weights - self.center)
+        self.center = self.center + corrections.sum(axis=0)
+        if updates is not None:
+            np.add(corrections, updates, out=corrections)
+        weights -= corrections
+        self.iteration += 1
+        return self.center
+
     def restart(self, initial_model: Optional[np.ndarray] = None) -> None:
         """Provided for interface parity with SMA (EA-SGD keeps no momentum state)."""
         if initial_model is not None:

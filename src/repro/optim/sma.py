@@ -38,8 +38,10 @@ class SMAConfig:
     def __post_init__(self) -> None:
         if not 0.0 <= self.momentum < 1.0:
             raise ConfigurationError("SMA momentum must be in [0, 1)")
-        if self.alpha is not None and not 0.0 < self.alpha <= 1.0:
-            raise ConfigurationError("SMA alpha must be in (0, 1]")
+        # α = 0 is a valid no-correction mode (the τ = ∞ ablation): replicas
+        # train independently and the central model never moves.
+        if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
+            raise ConfigurationError("SMA alpha must be in [0, 1]")
         if self.synchronisation_period < 1:
             raise ConfigurationError("synchronisation period τ must be >= 1")
 
@@ -124,6 +126,62 @@ class SMA:
         ]
         self.apply_corrections(corrections)
         return corrected
+
+    def step_matrix(
+        self, weights: np.ndarray, updates: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One fused Algorithm-1 iteration over a ``(k, P)`` replica bank.
+
+        ``weights`` is the bank's active matrix (row ``j`` = replica ``w_j``)
+        and is updated **in place**; ``updates`` are the pre-scaled local
+        updates ``η·g_j`` (plus any weight-decay term), also ``(k, P)``.
+        Computes ``C = α (W − z)``, then ``z ← z + C.sum(0) + µ (z − z_prev)``
+        and ``W ← W − (U + C)`` — numerically identical to the per-replica
+        :meth:`correction` / :meth:`apply_corrections` loop, without any
+        per-learner Python iteration or flatten/unflatten round trips.
+        Returns the new central model.
+        """
+        if not isinstance(weights, np.ndarray):
+            # np.asarray would copy a list of rows and the in-place update
+            # below would silently mutate the copy, not the caller's replicas.
+            raise ConfigurationError("step_matrix requires an ndarray updated in place")
+        if weights.ndim != 2 or weights.shape[0] != self.num_replicas:
+            raise ConfigurationError(
+                f"expected a ({self.num_replicas}, P) weight matrix, got {weights.shape}"
+            )
+        if updates is not None and updates.shape != weights.shape:
+            raise ConfigurationError(
+                f"update matrix has shape {updates.shape}, expected {weights.shape}"
+            )
+        if not self.should_synchronise():
+            if updates is not None:
+                weights -= updates
+            self.iteration += 1
+            return self.center
+        if self.alpha == 0.0:
+            # No-correction mode (τ = ∞ ablation): skip the (k, P) zero-matrix
+            # work but keep the central-model momentum bookkeeping identical.
+            previous = self.center.copy()
+            self.center = self.center + self.config.momentum * (
+                self.center - self._previous_center
+            )
+            self._previous_center = previous
+            if updates is not None:
+                weights -= updates
+            self.iteration += 1
+            return self.center
+        corrections = self.alpha * (weights - self.center)
+        previous = self.center.copy()
+        total_correction = corrections.sum(axis=0)
+        momentum_term = self.config.momentum * (self.center - self._previous_center)
+        self.center = self.center + total_correction + momentum_term
+        self._previous_center = previous
+        if updates is not None:
+            # w ← w − (u + c), matching the trainer's historical association.
+            np.add(corrections, updates, out=corrections)
+        weights -= corrections
+        self.iteration += 1
+        return self.center
 
     # -- restart (hyper-parameter changes, §3.2) -----------------------------------------
     def restart(self, initial_model: Optional[np.ndarray] = None) -> None:

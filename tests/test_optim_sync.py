@@ -88,7 +88,11 @@ class TestSMAAlgorithm:
         with pytest.raises(ConfigurationError):
             SMAConfig(momentum=1.5)
         with pytest.raises(ConfigurationError):
-            SMAConfig(alpha=0.0)
+            SMAConfig(alpha=-0.1)
+        with pytest.raises(ConfigurationError):
+            SMAConfig(alpha=1.5)
+        # α = 0 is the valid no-correction mode used by the τ = ∞ ablation.
+        assert SMAConfig(alpha=0.0).alpha == 0.0
         with pytest.raises(ConfigurationError):
             SMAConfig(synchronisation_period=0)
         with pytest.raises(ConfigurationError):
