@@ -1,0 +1,116 @@
+"""Multi-process executor microbenchmark: serial vs per-learner worker processes.
+
+PR 1 fused the synchronisation step into one (k, P) matrix op, but the k
+forward/backward passes of an iteration still ran serially in one Python
+process.  With ``execution="process"`` each learner's gradient is computed in
+its own worker over the shared-memory replica bank while streaming its own
+dataset shard — the reproduction's analogue of the paper's task manager
+keeping every execution unit busy (§4.1–§4.3).
+
+This benchmark times whole training iterations (gradients + fused SMA step +
+simulated schedule) both ways at k = 8 learners on an MLP workload sized so
+the gradient computation dominates, and records the speedup.  On a single-core
+host the process mode necessarily loses (same compute plus IPC), so the
+speedup assertion only applies on multi-core hosts, matching the paper's
+premise of parallel hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.engine import CrossbowConfig, CrossbowTrainer, process_execution_supported
+
+LEARNERS = 8
+EPOCHS = 3
+HIDDEN = (512, 256)
+INPUT_DIM = 64
+NUM_TRAIN = 4096
+BATCH_SIZE = 32
+MIN_CORES_FOR_ASSERT = 4
+TARGET_SPEEDUP = 1.5
+
+
+def _config(execution: str) -> CrossbowConfig:
+    return CrossbowConfig(
+        model_name="mlp",
+        dataset_name="blobs",
+        num_gpus=1,
+        batch_size=BATCH_SIZE,
+        replicas_per_gpu=LEARNERS,
+        max_epochs=EPOCHS,
+        seed=7,
+        execution=execution,
+        dataset_overrides={"num_train": NUM_TRAIN, "num_test": 256, "input_dim": INPUT_DIM},
+        model_overrides={"input_dim": INPUT_DIM, "hidden_sizes": HIDDEN},
+    )
+
+
+def _run(execution: str) -> Dict[str, object]:
+    trainer = CrossbowTrainer(_config(execution))
+    try:
+        # Warm-up epoch: spawns the worker pool (process mode) and touches
+        # every allocation, so the timed epochs measure steady-state behaviour.
+        trainer._apply_schedule(0)
+        trainer._train_epoch(0)
+        warmup_iterations = trainer._iteration
+        started = time.perf_counter()
+        for epoch in range(1, EPOCHS):
+            trainer._train_epoch(epoch)
+        elapsed = time.perf_counter() - started
+        iterations = trainer._iteration - warmup_iterations
+        return {
+            "iterations": iterations,
+            "seconds": elapsed,
+            "iter_per_s": iterations / elapsed if elapsed > 0 else float("inf"),
+            "center": trainer.central_model_vector(),
+        }
+    finally:
+        trainer.close()
+
+
+def test_multiprocess_throughput(report):
+    if not process_execution_supported():  # pragma: no cover - non-POSIX only
+        import pytest
+
+        pytest.skip("fork start method unavailable")
+
+    serial = _run("serial")
+    process = _run("process")
+
+    # Both modes must land on the identical central model (fixed seed, no
+    # augmentation) — the speedup is not allowed to change the maths.
+    np.testing.assert_array_equal(process["center"], serial["center"])
+
+    speedup = process["iter_per_s"] / serial["iter_per_s"]
+    cores = os.cpu_count() or 1
+    report(
+        "multiprocess_throughput",
+        [
+            {
+                "mode": mode,
+                "learners": LEARNERS,
+                "iterations": run["iterations"],
+                "seconds": round(float(run["seconds"]), 4),
+                "iter_per_s": round(float(run["iter_per_s"]), 2),
+                "cores": cores,
+                "speedup_vs_serial": round(float(run["iter_per_s"] / serial["iter_per_s"]), 2),
+            }
+            for mode, run in (("serial", serial), ("process", process))
+        ],
+    )
+
+    # The >1.5x acceptance bar presumes parallel hardware; on one or two
+    # cores the extra processes only add IPC, so just record the numbers.
+    # BENCH_STRICT=0 downgrades the assert to a report for shared/noisy
+    # runners (CI), where wall-clock ratios across processes are not stable.
+    strict = os.environ.get("BENCH_STRICT", "1") != "0"
+    if cores >= MIN_CORES_FOR_ASSERT and strict:
+        assert speedup > TARGET_SPEEDUP, (
+            f"process execution only {speedup:.2f}x faster at k={LEARNERS} "
+            f"on {cores} cores (target {TARGET_SPEEDUP}x)"
+        )

@@ -22,7 +22,12 @@ from repro.data.augmentation import (
     random_horizontal_flip,
 )
 from repro.data.batching import Batch, BatchPipeline, CircularBatchBuffer, DataPreProcessor
-from repro.data.sharding import partition_batch, round_robin_assignment
+from repro.data.sharding import (
+    ShardedBatchPipeline,
+    ShardedBatchStream,
+    partition_batch,
+    round_robin_assignment,
+)
 
 __all__ = [
     "DATASET_REGISTRY",
@@ -38,6 +43,8 @@ __all__ = [
     "BatchPipeline",
     "CircularBatchBuffer",
     "DataPreProcessor",
+    "ShardedBatchPipeline",
+    "ShardedBatchStream",
     "partition_batch",
     "round_robin_assignment",
 ]

@@ -148,8 +148,36 @@ class DataPreProcessor:
 class BatchPipeline:
     """Facade combining pre-processors with the circular buffer.
 
-    ``min_slots`` defaults to double buffering: two full iterations worth of
-    batches (``2 × learners``), matching §4.5 of the paper.
+    This is the *serial* input path: one pipeline feeds every learner, handing
+    batch ``i·k + j`` of each epoch to learner ``j`` (``k`` learners, one
+    batch each per SMA iteration).  The multi-process executor replaces it
+    with a :class:`~repro.data.sharding.ShardedBatchPipeline` that produces
+    the identical assignment from per-worker strided shards — identical for
+    the single-pre-processor configuration the trainer uses; with
+    ``num_preprocessors > 1`` this pipeline cycles per-epoch shuffle streams
+    that the sharded pipeline does not replicate.
+
+    Parameters
+    ----------
+    dataset : Dataset
+        Training and test data.
+    batch_size : int
+        Per-learner batch size ``b`` (complete batches, §4.3 — never split
+        across learners).
+    num_learners : int
+        ``k``; the circular buffer must hold at least one batch per learner
+        so a full iteration can be in flight.
+    augmentation : AugmentationPipeline, optional
+        Applied by the pre-processors while filling slots; identity when
+        omitted.
+    rng : RandomState, optional
+        Pipeline-level stream; pre-processor ``i`` shuffles with its
+        ``preprocessor{i}`` child.
+    num_preprocessors : int
+        Data pre-processor workers cycled per epoch (§4.5).
+    min_slots : int, optional
+        Circular-buffer slots; defaults to double buffering — two full
+        iterations' worth (``2 × num_learners``), matching §4.5.
     """
 
     def __init__(

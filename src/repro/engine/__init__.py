@@ -20,6 +20,13 @@ from repro.engine.tasks import GlobalSyncTask, LearningTask, LocalSyncTask, Task
 from repro.engine.scheduler import IterationTiming, SchedulingPolicy, TaskScheduler
 from repro.engine.task_manager import TaskManager
 from repro.engine.autotuner import AutoTuner, AutoTunerDecision
+from repro.engine.executor import (
+    ProcessExecutor,
+    SharedMatrix,
+    SharedReplicaBank,
+    WorkerPool,
+    process_execution_supported,
+)
 from repro.engine.memory_plan import (
     MemoryPlan,
     OperatorSpec,
@@ -51,6 +58,11 @@ __all__ = [
     "TaskManager",
     "AutoTuner",
     "AutoTunerDecision",
+    "ProcessExecutor",
+    "SharedMatrix",
+    "SharedReplicaBank",
+    "WorkerPool",
+    "process_execution_supported",
     "MemoryPlan",
     "OperatorSpec",
     "offline_memory_plan",

@@ -51,9 +51,21 @@ class CrossbowConfig(TrainerConfig):
 
     ``replicas_per_gpu`` is the initial number of learners per GPU (``m``); when
     ``auto_tune`` is enabled the number adapts at runtime per Algorithm 2.
+
+    ``execution`` selects how the numeric learning tasks run:
+
+    * ``"serial"`` (default) — every learner's forward/backward pass runs in
+      the trainer's process; only the fused ``(k, P)`` synchronisation step is
+      parallel (BLAS).
+    * ``"process"`` — one worker process per learner over a shared-memory
+      replica bank, each streaming its own dataset shard
+      (:mod:`repro.engine.executor`).  Requires the POSIX ``fork`` start
+      method.  With augmentation disabled, fixed-seed runs are
+      bit-compatible with ``"serial"``.
     """
 
     replicas_per_gpu: int = 1
+    execution: str = "serial"  # "serial" or "process"
     auto_tune: bool = False
     auto_tune_interval: int = 16  # iterations between throughput observations
     auto_tune_tolerance: float = 0.05
@@ -72,6 +84,8 @@ class CrossbowConfig(TrainerConfig):
             raise ConfigurationError("max_replicas_per_gpu must be >= replicas_per_gpu")
         if self.synchronisation not in ("sma", "easgd", "none"):
             raise ConfigurationError("synchronisation must be 'sma', 'easgd' or 'none'")
+        if self.execution not in ("serial", "process"):
+            raise ConfigurationError("execution must be 'serial' or 'process'")
         if self.synchronisation_period < 1:
             raise ConfigurationError("synchronisation period τ must be >= 1")
 

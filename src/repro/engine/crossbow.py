@@ -21,8 +21,10 @@ import numpy as np
 
 from repro.data import AugmentationPipeline, BatchPipeline, create_dataset
 from repro.data.batching import Batch
+from repro.data.sharding import ShardedBatchPipeline
 from repro.engine.autotuner import AutoTuner, AutoTunerDecision
 from repro.engine.config import CrossbowConfig
+from repro.engine.executor import ProcessExecutor, SharedMatrix, SharedReplicaBank
 from repro.engine.learner import Learner
 from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
 from repro.engine.replica import ModelReplica, ReplicaBank, ReplicaPool
@@ -44,7 +46,40 @@ logger = get_logger("engine.crossbow")
 
 
 class CrossbowTrainer:
-    """Trains a model with the Crossbow system design described in §3 and §4."""
+    """Trains a model with the Crossbow system design described in §3 and §4.
+
+    Per iteration, ``k`` learners each compute a gradient on their own small
+    batch; the gradients are gathered into a ``(k, P)`` update matrix and the
+    whole Algorithm-1 step — local updates, corrections, central-model move —
+    is applied as fused matrix operations on the :class:`ReplicaBank`, whose
+    row ``j`` *is* learner ``j``'s weights.  Alongside the numeric training,
+    the corresponding learning/synchronisation tasks are scheduled on the
+    simulated multi-GPU server, producing the throughput and time-to-accuracy
+    numbers the paper reports.
+
+    Parameters
+    ----------
+    config : CrossbowConfig
+        Full description of the run: model, dataset, learner topology
+        (``num_gpus × replicas_per_gpu``), SMA hyper-parameters, auto-tuning,
+        and the execution mode.  With ``execution="process"`` the gradient
+        computations run in one worker process per learner over a
+        shared-memory bank (:mod:`repro.engine.executor`), each worker
+        streaming its own dataset shard; ``execution="serial"`` (default)
+        keeps them in-process.  Fixed-seed runs of the two modes produce
+        bit-identical central models when augmentation is disabled.
+
+    Notes
+    -----
+    Shape conventions used throughout: ``k`` = number of learners, ``P`` =
+    flat parameter count, ``W`` = the ``(k, P)`` active bank matrix, ``U`` =
+    the ``(k, P)`` pre-scaled update matrix, ``z`` = the central average
+    model (a ``(P,)`` vector).  Test accuracy is always evaluated on ``z``.
+
+    Call :meth:`close` (or use the trainer briefly and let it be garbage
+    collected) to release worker processes and shared-memory segments when
+    ``execution="process"``.
+    """
 
     def __init__(self, config: CrossbowConfig) -> None:
         self.config = config
@@ -110,9 +145,34 @@ class CrossbowTrainer:
         max_learners = config.num_gpus * (
             config.max_replicas_per_gpu if config.auto_tune else config.replicas_per_gpu
         )
-        self.replica_bank = ReplicaBank(num_parameters, capacity=max_learners)
+        # In process mode both the bank and the gradient matrix live in shared
+        # memory: workers read weights and write gradients with zero copies.
+        self._executor: Optional[ProcessExecutor] = None
+        self._update_shared: Optional[SharedMatrix] = None
+        if config.execution == "process":
+            self.replica_bank = SharedReplicaBank(num_parameters, capacity=max_learners)
+            self._update_shared = SharedMatrix(max_learners, num_parameters)
+            self._update_matrix = self._update_shared.array
+            shard_pipeline = ShardedBatchPipeline(
+                self.dataset,
+                batch_size=config.batch_size,
+                num_shards=total_learners,
+                rng=self.rng.child("pipeline"),
+                augmentation_factory=(
+                    (
+                        lambda j, generation: AugmentationPipeline.cifar_default(
+                            self.rng.child(f"augmentation-shard{j}-gen{generation}")
+                        )
+                    )
+                    if config.use_augmentation
+                    else None
+                ),
+            )
+            self._executor = ProcessExecutor(shard_pipeline)
+        else:
+            self.replica_bank = ReplicaBank(num_parameters, capacity=max_learners)
+            self._update_matrix = np.zeros((max_learners, num_parameters), dtype=np.float32)
         self.replica_pool = ReplicaPool(bank=self.replica_bank)
-        self._update_matrix = np.zeros((max_learners, num_parameters), dtype=np.float32)
         # Scratch for the weight-decay term, allocated lazily on first use so
         # the hot path stays allocation-free without taxing decay-free runs.
         self._decay_matrix = np.zeros((0, num_parameters), dtype=np.float32)
@@ -230,6 +290,8 @@ class CrossbowTrainer:
 
     def _train_epoch(self, epoch: int) -> float:
         """One pass over the training data; returns the mean training loss."""
+        if self._executor is not None:
+            return self._train_epoch_process(epoch)
         losses: List[float] = []
         batch_iter = self.pipeline.epoch_batches(epoch)
         pending: List[Batch] = []
@@ -246,6 +308,23 @@ class CrossbowTrainer:
             if len(pending) < len(self.learners):
                 break
             losses.append(self._run_iteration(pending))
+            self._maybe_autotune()
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def _train_epoch_process(self, epoch: int) -> float:
+        """One epoch under ``execution="process"``: workers stream their shards.
+
+        Mirrors the serial loop exactly — one iteration consumes ``k`` global
+        batches and the epoch ends when fewer than ``k`` remain — but the
+        batches are materialised inside the worker processes from the epoch
+        permutation broadcast at :meth:`ProcessExecutor.begin_epoch`.
+        """
+        executor = self._executor
+        assert executor is not None
+        losses: List[float] = []
+        executor.begin_epoch(epoch)
+        while executor.batches_remaining() >= len(self.learners):
+            losses.append(self._run_iteration_process())
             self._maybe_autotune()
         return float(np.mean(losses)) if losses else float("nan")
 
@@ -273,9 +352,42 @@ class CrossbowTrainer:
             _, loss = learner.compute_gradient(batch, out=updates[index])
             losses[index] = loss
             learner.replica.iterations_processed += 1
+        return self._finish_iteration(weights, updates, losses, replicas, synchronise)
+
+    def _run_iteration_process(self) -> float:
+        """One SMA iteration with the gradients computed by the worker pool.
+
+        The workers write raw gradients into the shared ``(k, P)`` update
+        matrix; everything after that — learning-rate scaling, weight decay,
+        the fused synchronisation step and the simulated task schedule — is
+        identical to the serial path and runs in the parent, while the
+        workers prefetch their next shard batch.
+        """
+        assert self._executor is not None
+        synchronise = self.synchroniser.should_synchronise()
+        replicas = [learner.replica for learner in self.learners]
+        k = len(self.learners)
+        weights = self.replica_bank.active_matrix()
+        updates = self._update_rows(k)
+        losses = self._executor.run_iteration(self.learners, updates, self.replica_bank)
+        for index, learner in enumerate(self.learners):
+            learner.replica.iterations_processed += 1
+            learner.batches_processed += 1
+            learner.last_loss = float(losses[index])
+        return self._finish_iteration(weights, updates, losses, replicas, synchronise)
+
+    def _finish_iteration(
+        self,
+        weights: np.ndarray,
+        updates: np.ndarray,
+        losses: np.ndarray,
+        replicas: List[ModelReplica],
+        synchronise: bool,
+    ) -> float:
+        """Apply the fused update to the bank and schedule the simulated tasks."""
         np.multiply(updates, self._last_lr, out=updates)
         if self.weight_decay:
-            decay = self._decay_rows(k)
+            decay = self._decay_rows(len(replicas))
             np.multiply(weights, self._last_lr * self.weight_decay, out=decay)
             updates += decay
         self.synchroniser.step_matrix(weights, updates)
@@ -287,16 +399,26 @@ class CrossbowTrainer:
             batch_size=self.config.batch_size,
             synchronise=synchronise,
         )
-        self.task_manager.handle_completion(timing, num_learning_tasks=len(self.learners))
+        self.task_manager.handle_completion(timing, num_learning_tasks=len(replicas))
         self._iteration += 1
         return float(np.mean(losses))
 
     def _update_rows(self, k: int) -> np.ndarray:
-        """The first ``k`` rows of the persistent (k, P) update scratch matrix."""
+        """The first ``k`` rows of the persistent (k, P) update scratch matrix.
+
+        Growth past the pre-allocated row count re-allocates the matrix; in
+        process mode the replacement is another shared-memory segment and the
+        worker pool is invalidated so it respawns against the new rows.
+        """
         if k > self._update_matrix.shape[0]:
-            self._update_matrix = np.zeros(
-                (k, self._update_matrix.shape[1]), dtype=np.float32
-            )
+            if self._executor is not None:
+                self._update_shared = SharedMatrix(k, self._update_matrix.shape[1])
+                self._update_matrix = self._update_shared.array
+                self._executor.invalidate()
+            else:
+                self._update_matrix = np.zeros(
+                    (k, self._update_matrix.shape[1]), dtype=np.float32
+                )
         return self._update_matrix[:k]
 
     def _decay_rows(self, k: int) -> np.ndarray:
@@ -366,7 +488,14 @@ class CrossbowTrainer:
         logger.debug("auto-tuner: shrank to %d learners per GPU", self.autotuner.learners_per_gpu)
 
     def _finish_resize(self) -> None:
-        """Re-pack the bank into learner order and rebuild the synchroniser."""
+        """Re-pack the bank into learner order and rebuild the synchroniser.
+
+        Under ``execution="process"`` the worker pool is also invalidated (its
+        buffers synced back first), so the next iteration respawns workers
+        against the re-packed bank rows and re-sharded input streams.
+        """
+        if self._executor is not None:
+            self._executor.invalidate()
         self.replica_bank.pack([learner.replica for learner in self.learners])
         self._rebuild_synchroniser_preserving_center()
         self.task_manager.reset_window()
@@ -407,6 +536,10 @@ class CrossbowTrainer:
         batch-norm running statistics) is averaged across the replicas, which is
         the standard practice for evaluating an averaged model.
         """
+        if self._executor is not None:
+            # Batch-norm statistics accumulate in the worker processes; pull
+            # them back before averaging (weights never need this round trip).
+            self._executor.sync_buffers()
         model = self.initial_model.clone()
         model.load_parameter_vector(np.asarray(self.synchroniser.center))
         replica_models = [learner.replica.model for learner in self.learners]
@@ -430,6 +563,32 @@ class CrossbowTrainer:
             correct += int(round(accuracy(logits, batch.labels) * batch.size))
             total += batch.size
         return correct / total if total else 0.0
+
+    # ------------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release worker processes and shared-memory segments (idempotent).
+
+        Only meaningful under ``execution="process"``; a serial trainer holds
+        no external resources.  Closing detaches every replica from the bank
+        (models keep private copies of their weights), so the trainer stays
+        usable for evaluation — but not for further training.
+        """
+        if self._executor is not None:
+            self._executor.close()
+        if isinstance(self.replica_bank, SharedReplicaBank):
+            self.replica_bank.close()
+        if self._update_shared is not None:
+            # Swap in a private empty matrix before unlinking: a surviving view
+            # into the unmapped segment would segfault on any later touch.
+            self._update_matrix = np.zeros((0, self._update_matrix.shape[1]), dtype=np.float32)
+            self._update_shared.close()
+            self._update_shared = None
+
+    def __enter__(self) -> "CrossbowTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------------ introspection
     def throughput(self) -> float:

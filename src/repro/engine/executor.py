@@ -1,0 +1,498 @@
+"""Multi-process learner executor over the shared-memory replica bank.
+
+The serial trainer runs every learner's forward/backward pass in one Python
+process, so only the fused ``(k, P)`` synchronisation step is parallel (BLAS).
+This module moves the *numeric learning tasks* themselves onto worker
+processes, the reproduction's analogue of the paper's task manager dispatching
+learning tasks to GPU streams (§4.1–§4.3):
+
+* :class:`SharedMatrix` — a ``(rows, cols)`` float32 matrix allocated in
+  ``multiprocessing.shared_memory`` so parent and workers address the same
+  physical memory.
+* :class:`SharedReplicaBank` — the :class:`~repro.engine.replica.ReplicaBank`
+  with its backing matrix in shared memory: each worker's module parameters
+  are zero-copy views into its bank row in *both* address spaces.
+* :class:`WorkerPool` — one forked process per learner, each streaming its own
+  dataset shard (:class:`~repro.data.sharding.ShardedBatchStream`) and writing
+  gradients straight into a shared ``(k, P)`` update matrix.
+* :class:`ProcessExecutor` — the trainer-facing facade: epoch/iteration
+  protocol, buffer round-trips for evaluation, and pool respawn when the
+  auto-tuner resizes the bank.
+
+Execution model per iteration: the parent broadcasts one ``step`` command,
+every worker materialises its next prefetched batch, runs forward/backward on
+its bank-row-backed replica and scatters the gradient into its update row;
+the parent then applies the fused ``SMA.step_matrix`` to the shared weights
+while the workers prefetch their next batch (double buffering).  Workers
+block between commands, so the schedule is synchronous and — with
+augmentation disabled — bit-identical to ``execution="serial"``.
+
+Only the ``fork`` start method is supported: workers inherit the already
+mapped shared segments, the model object graph and the prefetch streams
+without any pickling of weights.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.sharding import ShardedBatchPipeline, ShardedBatchStream
+from repro.engine.learner import Learner
+from repro.engine.replica import ReplicaBank
+from repro.errors import ConfigurationError, SchedulingError
+from repro.utils.logging import get_logger
+
+logger = get_logger("engine.executor")
+
+#: seconds the parent waits for one worker result before declaring it dead
+_RESULT_TIMEOUT_S = 120.0
+
+
+def process_execution_supported() -> bool:
+    """Whether this platform can run the multi-process executor (needs fork)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _fork_context():
+    if not process_execution_supported():  # pragma: no cover - non-POSIX only
+        raise ConfigurationError(
+            "execution='process' requires the 'fork' multiprocessing start method "
+            "(POSIX only); use execution='serial' on this platform"
+        )
+    return multiprocessing.get_context("fork")
+
+
+def _release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink a shared segment, tolerating double release."""
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, BufferError):  # pragma: no cover - cleanup race
+        pass
+
+
+class SharedMatrix:
+    """A ``(rows, cols)`` float32 matrix in ``multiprocessing`` shared memory.
+
+    The creating (parent) process owns the segment: forked workers inherit
+    the mapping and see every write immediately, in both directions.  The
+    segment is unlinked when :meth:`close` is called or the object is garbage
+    collected, whichever comes first.
+
+    Parameters
+    ----------
+    rows, cols : int
+        Matrix shape.  A zero-sized matrix still allocates a 1-byte segment
+        (POSIX shared memory cannot be empty).
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 0 or cols < 0:
+            raise SchedulingError("shared matrix needs non-negative dimensions")
+        nbytes = max(1, rows * cols * np.dtype(np.float32).itemsize)
+        self._segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray((rows, cols), dtype=np.float32, buffer=self._segment.buf)
+        self.array[...] = 0.0
+        self._finalizer = weakref.finalize(self, _release_segment, self._segment)
+
+    @property
+    def name(self) -> str:
+        """The segment's name in the OS shared-memory namespace."""
+        return self._segment.name
+
+    def close(self) -> None:
+        """Release the backing segment (the array becomes invalid)."""
+        # Drop the exported buffer view first or SharedMemory.close() raises.
+        self.array = None
+        self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = None if self.array is None else self.array.shape
+        return f"SharedMatrix(name={self.name!r}, shape={shape})"
+
+
+class SharedReplicaBank(ReplicaBank):
+    """A :class:`ReplicaBank` whose ``(capacity, P)`` matrix lives in shared memory.
+
+    Drop-in replacement for the in-process bank: same dense-prefix row
+    discipline, same ``attach``/``detach``/``pack`` lifecycle.  Because
+    forked workers inherit the mapping, the fused ``step_matrix`` update the
+    parent applies to :meth:`active_matrix` is immediately visible to every
+    worker's forward pass — zero-copy in both directions.
+
+    Growing past the pre-allocated capacity allocates a *new* segment and
+    bumps :attr:`generation`; a :class:`ProcessExecutor` uses that to detect
+    that running workers still map the old segment and must be respawned.
+    Old segments are kept alive until :meth:`close` so stale workers never
+    touch unmapped memory mid-shutdown.
+    """
+
+    def __init__(self, num_parameters: int, capacity: int = 1) -> None:
+        self._segments: List[SharedMatrix] = []
+        self.generation = 0
+        super().__init__(num_parameters, capacity)
+
+    def _allocate(self, rows: int, cols: int) -> np.ndarray:
+        segment = SharedMatrix(rows, cols)
+        self._segments.append(segment)
+        self.generation += 1
+        return segment.array
+
+    def close(self) -> None:
+        """Unlink every shared segment this bank ever allocated."""
+        for replica in list(self._owners):
+            self.detach(replica)
+        self._matrix = np.zeros((0, self.num_parameters), dtype=np.float32)
+        for segment in self._segments:
+            segment.close()
+        self._segments.clear()
+
+
+@dataclass
+class _WorkerState:
+    """Everything one worker process needs; inherited via fork, never pickled."""
+
+    index: int
+    learner: Learner
+    stream: ShardedBatchStream
+    update_row: np.ndarray  # (P,) view into the shared update matrix
+    commands: Any  # multiprocessing.SimpleQueue
+    results: Any  # multiprocessing.Queue (shared across workers)
+    # Spawn-time epoch state, inherited via fork rather than pre-seeded into
+    # the command queue: a large epoch permutation would overflow the pipe
+    # buffer before the worker starts reading and deadlock the spawn.
+    epoch: Optional[int] = None
+    order: Optional[np.ndarray] = None
+    offset: int = 0
+
+
+def _worker_main(state: _WorkerState) -> None:
+    """Worker process body: serve gradient / epoch / buffer commands until stop.
+
+    Any exception — including ones outside the gradient computation, such as a
+    failed epoch hand-off or a prefetch error after the step result was already
+    posted — is forwarded to the parent as an error tuple before the worker
+    exits, so the parent's timeout/liveness logic in ``WorkerPool._collect``
+    fails fast with a traceback instead of waiting on a silently dead process.
+    """
+    stream = state.stream
+    learner = state.learner
+    try:
+        if state.epoch is not None and state.order is not None:
+            stream.start_epoch(state.epoch, state.order, state.offset)
+        while True:
+            command = state.commands.get()
+            op = command[0]
+            if op == "stop":
+                return
+            if op == "epoch":
+                _, epoch, order, offset = command
+                stream.start_epoch(epoch, order, offset)
+                continue
+            if op == "step":
+                loss = learner.compute_shard_gradient(stream, out=state.update_row)
+                state.results.put((state.index, loss, None))
+                # Double buffering: assemble the next batch while the parent
+                # runs the fused synchronisation step on the shared bank.
+                stream.prefetch()
+                continue
+            if op == "buffers":
+                buffers = {
+                    name: np.array(value, copy=True)
+                    for name, value in learner.replica.model.named_buffers()
+                }
+                state.results.put((state.index, buffers, None))
+                continue
+            raise SchedulingError(f"unknown worker command {op!r}")
+    except Exception:  # noqa: BLE001 - forwarded to the parent verbatim
+        state.results.put((state.index, None, traceback.format_exc()))
+
+
+class WorkerPool:
+    """One forked worker process per learner, fed by per-worker shard streams.
+
+    The pool is immutable once spawned: a resize (different learner count,
+    re-packed bank, or reallocated shared matrices) stops it and spawns a new
+    one — forking is cheap next to the auto-tuner interval, and respawning
+    re-inherits the parent's current object graph wholesale, so there is no
+    incremental state-repair protocol to get wrong.
+
+    Parameters
+    ----------
+    learners : sequence of Learner
+        The trainer's learners, in bank-row order; worker ``j`` computes
+        gradients for ``learners[j]``.
+    streams : sequence of ShardedBatchStream
+        One shard stream per learner (``streams[j].shard_index == j``).
+    update_rows : numpy.ndarray
+        The shared ``(k, P)`` gradient matrix; worker ``j`` writes row ``j``.
+    epoch_state : tuple, optional
+        ``(epoch, order, offset)`` to resume streaming from, for pools
+        spawned mid-epoch (after an auto-tuner resize).
+    """
+
+    def __init__(
+        self,
+        learners: Sequence[Learner],
+        streams: Sequence[ShardedBatchStream],
+        update_rows: np.ndarray,
+        epoch_state: Optional[Tuple[int, np.ndarray, int]] = None,
+    ) -> None:
+        if len(learners) != len(streams):
+            raise SchedulingError(
+                f"need one shard stream per learner: {len(streams)} streams, "
+                f"{len(learners)} learners"
+            )
+        if update_rows.shape[0] < len(learners):
+            raise SchedulingError(
+                f"update matrix has {update_rows.shape[0]} rows for {len(learners)} learners"
+            )
+        ctx = _fork_context()
+        self.num_workers = len(learners)
+        # A full Queue (not SimpleQueue) so _collect can poll with a timeout
+        # and notice dead workers instead of blocking forever.
+        self._results = ctx.Queue()
+        self._commands = []
+        self._processes = []
+        self._stopped = False
+        for index, (learner, stream) in enumerate(zip(learners, streams)):
+            commands = ctx.SimpleQueue()
+            state = _WorkerState(
+                index=index,
+                learner=learner,
+                stream=stream,
+                update_row=update_rows[index],
+                commands=commands,
+                results=self._results,
+                epoch=None if epoch_state is None else epoch_state[0],
+                order=None if epoch_state is None else epoch_state[1],
+                offset=0 if epoch_state is None else epoch_state[2],
+            )
+            process = ctx.Process(
+                target=_worker_main, args=(state,), daemon=True, name=f"learner-worker-{index}"
+            )
+            process.start()
+            self._commands.append(commands)
+            self._processes.append(process)
+
+    # -- command protocol ----------------------------------------------------------------
+    def _broadcast(self, command: Tuple) -> None:
+        for queue in self._commands:
+            queue.put(command)
+
+    def _collect(self) -> List[Any]:
+        payloads: List[Any] = [None] * self.num_workers
+        received = 0
+        deadline = time.monotonic() + _RESULT_TIMEOUT_S
+        while received < self.num_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise SchedulingError(
+                    f"timed out after {_RESULT_TIMEOUT_S:.0f}s waiting for "
+                    f"{self.num_workers - received} of {self.num_workers} worker results"
+                )
+            try:
+                index, payload, error = self._results.get(timeout=min(remaining, 1.0))
+            except queue_module.Empty:
+                dead = [p.name for p in self._processes if not p.is_alive()]
+                if dead:
+                    raise SchedulingError(
+                        f"worker process(es) {dead} died without reporting a result "
+                        "(see the worker's stderr for the original error)"
+                    ) from None
+                continue
+            if error is not None:
+                raise SchedulingError(f"learner worker {index} failed:\n{error}")
+            payloads[index] = payload
+            received += 1
+        return payloads
+
+    def start_epoch(self, epoch: int, order: np.ndarray, offset: int = 0) -> None:
+        """Ship the epoch's permutation to every worker's shard stream."""
+        self._broadcast(("epoch", epoch, order, offset))
+
+    def step(self) -> np.ndarray:
+        """Run one learning task per worker; returns the ``(k,)`` loss vector.
+
+        On return, row ``j`` of the shared update matrix holds learner ``j``'s
+        raw gradient for its shard's next batch.
+        """
+        self._broadcast(("step",))
+        losses = self._collect()
+        return np.array(losses, dtype=np.float64)
+
+    def gather_buffers(self) -> List[Dict[str, np.ndarray]]:
+        """Fetch every worker's non-trainable buffers (batch-norm statistics)."""
+        self._broadcast(("buffers",))
+        return self._collect()
+
+    def stop(self) -> None:
+        """Terminate all workers (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for queue in self._commands:
+            try:
+                queue.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue already gone
+                pass
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for queue in self._commands:
+            queue.close()
+        self._results.close()
+
+    def is_alive(self) -> bool:
+        return not self._stopped and all(p.is_alive() for p in self._processes)
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.stop()
+        except Exception:
+            pass
+
+
+class ProcessExecutor:
+    """Trainer-facing facade over the worker pool and the sharded input path.
+
+    Owns the epoch/iteration bookkeeping the serial loop keeps implicitly in
+    its batch iterator: which epoch is streaming, its permutation, and how
+    many global batches have been consumed.  The pool itself is spawned
+    lazily — on the first iteration, and again whenever :meth:`invalidate`
+    marks the current one stale (auto-tuner resize, shared-matrix
+    reallocation) — so forks always inherit the trainer's *current* learner
+    and bank state.
+    """
+
+    def __init__(self, pipeline: ShardedBatchPipeline) -> None:
+        self.pipeline = pipeline
+        self._pool: Optional[WorkerPool] = None
+        self._spawned_for: Optional[Tuple[int, int, int]] = None
+        self._spawned_learners: List[Learner] = []
+        self._epoch: Optional[int] = None
+        self._order: Optional[np.ndarray] = None
+        self._consumed = 0  # global batches consumed this epoch
+
+    # -- epoch protocol ------------------------------------------------------------------
+    def begin_epoch(self, epoch: int) -> None:
+        """Draw the epoch permutation and ship it to the workers (if running)."""
+        self._epoch = epoch
+        self._order = self.pipeline.begin_epoch(epoch)
+        self._consumed = 0
+        if self._pool is not None:
+            self._pool.start_epoch(epoch, self._order, 0)
+
+    def batches_remaining(self) -> int:
+        """Global batches left in the current epoch."""
+        if self._order is None:
+            return 0
+        return self.pipeline.batches_per_epoch - self._consumed
+
+    # -- iteration protocol --------------------------------------------------------------
+    def run_iteration(
+        self, learners: Sequence[Learner], update_rows: np.ndarray, bank: ReplicaBank
+    ) -> np.ndarray:
+        """Compute one gradient per learner in parallel; returns ``(k,)`` losses.
+
+        ``update_rows`` is the shared ``(k, P)`` matrix slice the workers
+        write into; ``bank`` is checked for reallocation so stale pools are
+        respawned before any worker touches freed memory.
+        """
+        if self._epoch is None:
+            raise SchedulingError("run_iteration() before begin_epoch()")
+        if self.batches_remaining() < len(learners):
+            raise SchedulingError(
+                f"epoch {self._epoch} has {self.batches_remaining()} batches left "
+                f"for {len(learners)} learners"
+            )
+        self._ensure_pool(learners, update_rows, bank)
+        assert self._pool is not None
+        losses = self._pool.step()
+        self._consumed += len(learners)
+        return losses
+
+    def _ensure_pool(
+        self, learners: Sequence[Learner], update_rows: np.ndarray, bank: ReplicaBank
+    ) -> None:
+        signature = (
+            len(learners),
+            id(update_rows.base if update_rows.base is not None else update_rows),
+            getattr(bank, "generation", 0),
+        )
+        if self._pool is not None and self._pool.is_alive() and signature == self._spawned_for:
+            return
+        self._stop_pool(sync_buffers=True)
+        # Always rebuild the streams: augmentation state advanced inside the
+        # dead workers, so reusing parent-side streams would replay it.
+        self.pipeline.reshard(len(learners))
+        epoch_state = None
+        if self._epoch is not None and self._order is not None:
+            epoch_state = (self._epoch, self._order, self._consumed)
+        self._pool = WorkerPool(
+            learners, self.pipeline.streams, update_rows, epoch_state=epoch_state
+        )
+        self._spawned_for = signature
+        self._spawned_learners = list(learners)
+
+    # -- buffer round trip ----------------------------------------------------------------
+    def sync_buffers(self) -> None:
+        """Copy each worker's non-trainable buffers back into the parent's models.
+
+        Trainable weights need no such round trip (they live in the shared
+        bank), but batch-norm running statistics are updated by the forward
+        pass in worker-private memory.  Called before evaluation and before a
+        pool respawn, so the parent — the fork source — always holds the
+        latest statistics.  The buffers land on the learners the pool was
+        spawned with, which may predate an in-flight resize.
+        """
+        if self._pool is None or not self._pool.is_alive():
+            return
+        gathered = self._pool.gather_buffers()
+        for learner, buffers in zip(self._spawned_learners, gathered):
+            if not buffers:
+                continue
+            for name, value in learner.replica.model.named_buffers():
+                value[...] = buffers[name]
+
+    # -- lifecycle -------------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Stop the pool so the next iteration respawns it (auto-tuner resize).
+
+        Worker buffers are synced back first, so the respawned workers fork
+        from up-to-date models.
+        """
+        self._stop_pool(sync_buffers=True)
+
+    def _stop_pool(self, sync_buffers: bool) -> None:
+        if self._pool is None:
+            return
+        if sync_buffers:
+            self.sync_buffers()
+        self._pool.stop()
+        self._pool = None
+        self._spawned_for = None
+        self._spawned_learners = []
+
+    def close(self) -> None:
+        """Terminate the worker pool (the executor can be restarted after this).
+
+        Worker buffers are synced back first so evaluation after close still
+        sees the latest batch-norm statistics.
+        """
+        self._stop_pool(sync_buffers=True)
+
+    @property
+    def running(self) -> bool:
+        return self._pool is not None and self._pool.is_alive()

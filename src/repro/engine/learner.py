@@ -59,6 +59,17 @@ class Learner:
         self.last_loss = float(loss.data)
         return gradient, self.last_loss
 
+    def compute_shard_gradient(self, stream, out: Optional[np.ndarray] = None) -> float:
+        """Pull the next batch from a shard stream and compute its gradient.
+
+        The multi-process executor's worker loop: ``stream`` is this learner's
+        :class:`~repro.data.sharding.ShardedBatchStream`, ``out`` its row of
+        the shared ``(k, P)`` update matrix.  Returns the batch loss.
+        """
+        batch = stream.next_batch()
+        _, loss = self.compute_gradient(batch, out=out)
+        return loss
+
     def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Top-1 accuracy of the replica on the given evaluation data."""
         model = self.replica.model

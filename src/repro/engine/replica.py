@@ -62,13 +62,33 @@ class ReplicaBank:
     are recycled on detach (swap-with-last) and the matrix grows geometrically
     when the auto-tuner exceeds the pre-allocated capacity, so a resize is
     O(k·P) once rather than per-iteration work.
+
+    Shape conventions: ``k`` is the number of active learners/replicas, ``P``
+    the flat parameter count of the model; row ``j`` of :meth:`active_matrix`
+    *is* replica ``j``'s weights — every module parameter of the attached
+    model is a reshaped view into that row.
+
+    Parameters
+    ----------
+    num_parameters : int
+        ``P``, the flat parameter count each row holds.
+    capacity : int, default 1
+        Number of pre-allocated rows.  The Crossbow trainer pre-allocates the
+        auto-tuner's ceiling (``num_gpus × max_replicas_per_gpu``) so
+        grow/shrink never reallocates mid-training.
+
+    See Also
+    --------
+    repro.engine.executor.SharedReplicaBank :
+        The same bank with its matrix in ``multiprocessing`` shared memory,
+        used by the ``execution="process"`` worker pool.
     """
 
     def __init__(self, num_parameters: int, capacity: int = 1) -> None:
         if num_parameters < 0:
             raise SchedulingError("replica bank needs a non-negative parameter count")
         self.num_parameters = int(num_parameters)
-        self._matrix = np.zeros((max(int(capacity), 1), self.num_parameters), dtype=np.float32)
+        self._matrix = self._allocate(max(int(capacity), 1), self.num_parameters)
         self._owners: List[ModelReplica] = []
 
     # -- views ---------------------------------------------------------------------------
@@ -145,6 +165,16 @@ class ReplicaBank:
             self._bind(replica, len(self._owners) - 1)
 
     # -- internals -----------------------------------------------------------------------
+    def _allocate(self, rows: int, cols: int) -> np.ndarray:
+        """Allocate zeroed ``(rows, cols)`` float32 backing storage.
+
+        Subclasses override this to place the matrix elsewhere — e.g. the
+        multi-process executor's :class:`~repro.engine.executor.SharedReplicaBank`
+        allocates it in ``multiprocessing.shared_memory`` so worker processes
+        see the same physical rows.
+        """
+        return np.zeros((rows, cols), dtype=np.float32)
+
     def _bind(self, replica: ModelReplica, row: int) -> None:
         replica.model.attach_parameter_storage(self._matrix[row])
         replica.bank = self
@@ -152,7 +182,7 @@ class ReplicaBank:
 
     def _grow(self, new_capacity: int) -> None:
         old = self._matrix
-        self._matrix = np.zeros((new_capacity, self.num_parameters), dtype=np.float32)
+        self._matrix = self._allocate(new_capacity, self.num_parameters)
         self._matrix[: len(self._owners)] = old[: len(self._owners)]
         for row, replica in enumerate(self._owners):
             self._bind(replica, row)
@@ -224,6 +254,23 @@ class ReplicaPool:
         While held, checkouts (:meth:`acquire`) are rejected but the holder may
         add and remove replicas — the whole point of the resize.  The lock is
         released exactly once, on exit, even if the resize raises.
+
+        This is step 2 of the resize lifecycle the trainer runs at an
+        iteration boundary (Algorithm 2 decision → new learner count):
+
+        1. ``TaskScheduler.barrier()`` — drain in-flight simulated tasks so no
+           ready-time predates the resize.
+        2. ``with pool.locked():`` — add replicas (grow: cloned from the
+           current central average model, §4.4) or ``remove_last_on_gpu``
+           (shrink), which attaches/detaches bank rows.
+        3. ``TaskScheduler.deregister_replica`` + GPU stream retire for every
+           removed replica, so neither scheduler ready-times nor learner
+           streams leak across oscillations.
+        4. ``ReplicaBank.pack()`` — re-pack rows into learner order so
+           ``active_matrix()`` stays a dense ``(k, P)`` prefix.
+        5. Rebuild the synchroniser for the new ``k`` (preserving the central
+           model) and, under ``execution="process"``, invalidate the worker
+           pool so it respawns with the new shard count.
         """
         if self._locked:
             raise SchedulingError("replica pool is already locked")

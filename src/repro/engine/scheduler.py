@@ -99,7 +99,11 @@ class TaskScheduler:
         """Forget a replica removed by the auto-tuner (accepts a replica or its id).
 
         Without this, :meth:`barrier` keeps iterating stale ready-time entries
-        for every replica the auto-tuner ever removed.
+        for every replica the auto-tuner ever removed.  This is step 3 of the
+        resize lifecycle documented on
+        :meth:`repro.engine.replica.ReplicaPool.locked`: it runs after the
+        pool-locked add/remove and before the bank is re-packed, paired with
+        retiring the replica's GPU learner stream for reuse by a later grow.
         """
         replica_id = replica.replica_id if isinstance(replica, ModelReplica) else int(replica)
         self._replica_ready.pop(replica_id, None)

@@ -24,7 +24,20 @@ from repro.errors import ConfigurationError
 
 @dataclass
 class EASGDConfig:
-    """Hyper-parameters of elastic averaging SGD."""
+    """Hyper-parameters of elastic averaging SGD.
+
+    Parameters
+    ----------
+    elasticity : float, optional
+        The elastic force ρ in ``(0, 1]``; ``None`` (default) resolves to
+        ``1/k``.  Unlike :class:`~repro.optim.sma.SMAConfig`, ρ = 0 is *not*
+        accepted: a zero elasticity never moves the centre nor the replicas,
+        so the τ = ∞ "no synchronisation" ablation is expressed with SMA's
+        ``alpha=0.0`` mode (``CrossbowConfig(synchronisation="none")``)
+        instead of a degenerate EA-SGD.
+    communication_period : int
+        τ — replicas exchange elastic forces every τ-th iteration.
+    """
 
     elasticity: Optional[float] = None  # ρ; defaults to 1/k like SMA's α
     communication_period: int = 1  # τ

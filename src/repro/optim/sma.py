@@ -29,7 +29,24 @@ from repro.errors import ConfigurationError
 
 @dataclass
 class SMAConfig:
-    """Hyper-parameters of the SMA synchronisation algorithm."""
+    """Hyper-parameters of the SMA synchronisation algorithm.
+
+    Parameters
+    ----------
+    momentum : float
+        Polyak momentum µ of the central-model update, in ``[0, 1)``.
+    alpha : float, optional
+        Correction weight α in ``[0, 1]``; ``None`` (default) resolves to
+        ``1/k`` at construction time.  ``alpha=0.0`` is an explicitly
+        supported *no-correction* mode used by the τ = ∞ ablation: replicas
+        train independently, the central model only moves by its momentum
+        term, and no near-zero sentinel is substituted (earlier versions
+        rewrote 0 to ``1e-12``; since PR 1 the zero is honoured exactly and
+        the ``(k, P)`` correction matrix work is skipped).
+    synchronisation_period : int
+        τ — corrections are exchanged every τ-th iteration.  Crossbow always
+        uses 1; larger values exist only for the Figure 16/17 experiments.
+    """
 
     momentum: float = 0.9
     alpha: Optional[float] = None  # defaults to 1/k at construction time
@@ -132,14 +149,32 @@ class SMA:
     ) -> np.ndarray:
         """One fused Algorithm-1 iteration over a ``(k, P)`` replica bank.
 
-        ``weights`` is the bank's active matrix (row ``j`` = replica ``w_j``)
-        and is updated **in place**; ``updates`` are the pre-scaled local
-        updates ``η·g_j`` (plus any weight-decay term), also ``(k, P)``.
-        Computes ``C = α (W − z)``, then ``z ← z + C.sum(0) + µ (z − z_prev)``
-        and ``W ← W − (U + C)`` — numerically identical to the per-replica
+        Computes the correction matrix ``C = α (W − z)``, then advances the
+        central model ``z ← z + C.sum(0) + µ (z − z_prev)`` and the replicas
+        ``W ← W − (U + C)`` — numerically identical to the per-replica
         :meth:`correction` / :meth:`apply_corrections` loop, without any
         per-learner Python iteration or flatten/unflatten round trips.
-        Returns the new central model.
+
+        Parameters
+        ----------
+        weights : numpy.ndarray
+            The bank's active ``(k, P)`` matrix — row ``j`` *is* replica
+            ``w_j``'s flat weights.  Updated **in place**; a list of rows is
+            rejected because the update would mutate a silent copy.
+        updates : numpy.ndarray, optional
+            ``(k, P)`` pre-scaled local updates ``U`` (row ``j`` holds
+            ``η·g_j`` plus any weight-decay term).  When omitted, only the
+            correction/centre move is applied.  May be overwritten as
+            scratch.
+
+        Returns
+        -------
+        numpy.ndarray
+            The new central model ``z`` of shape ``(P,)`` (also stored on
+            :attr:`center`).  When this is not a synchronisation iteration
+            (τ > 1) or ``alpha == 0`` the replicas receive no corrections,
+            but local updates are still applied and the iteration counter
+            advances.
         """
         if not isinstance(weights, np.ndarray):
             # np.asarray would copy a list of rows and the in-place update

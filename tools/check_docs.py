@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Execute the Python code blocks in Markdown docs and validate relative links.
+
+CI runs this over README.md and docs/*.md so every snippet a reader might
+copy-paste is guaranteed to execute against the current code, and no relative
+link points at a file that has moved.  Usage:
+
+    PYTHONPATH=src python tools/check_docs.py README.md docs/architecture.md ...
+
+Every fenced block tagged ``python`` is executed in its own namespace from the
+repository root.  Blocks tagged ``python no-check`` are skipped (for
+illustrative fragments that are not self-contained).  Exits non-zero on the
+first failing snippet or dangling link, printing the offending block.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^```\s*(.*?)\s*$")
+# [text](target) — markdown links, excluding images; URL targets are ignored.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def python_blocks(text: str) -> Iterator[Tuple[int, str, str]]:
+    """Yield ``(first_line_number, info_string, source)`` for every fenced block
+    whose info string starts with ``python`` — including sloppy variants like
+    ``` python`` or ```` ```python3 ````, so misspelled tags fail loudly in
+    :func:`check_file` instead of silently skipping the snippet."""
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = FENCE_RE.match(lines[index])
+        if match and match.group(1):  # an *opening* fence (has an info string)
+            info = match.group(1)
+            start = index + 1
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].startswith("```"):
+                body.append(lines[index])
+                index += 1
+            if info.split()[0].startswith("python"):
+                yield start + 1, info, "\n".join(body)
+        index += 1
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    """Return error strings for relative links that do not resolve."""
+    errors = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: dangling link -> {target}")
+    return errors
+
+
+def check_file(path: Path) -> List[str]:
+    text = path.read_text(encoding="utf-8")
+    errors = check_links(path, text)
+    for line, info, source in python_blocks(text):
+        parts = info.split()
+        if parts[0] != "python":
+            errors.append(f"{path}:{line}: unrecognised fence tag {parts[0]!r} (use 'python')")
+            continue
+        if "no-check" in parts[1:]:
+            continue
+        if not source.strip():
+            continue
+        namespace: dict = {"__name__": "__docs__"}
+        try:
+            exec(compile(source, f"{path}:{line}", "exec"), namespace)  # noqa: S102
+        except Exception as exc:  # noqa: BLE001 - report and keep checking
+            errors.append(
+                f"{path}:{line}: snippet raised {type(exc).__name__}: {exc}\n"
+                + "\n".join(f"    {l}" for l in source.splitlines())
+            )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    paths = [Path(arg) for arg in argv] or sorted(
+        [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+    )
+    failures: List[str] = []
+    checked = 0
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: file not found")
+            continue
+        blocks = len(list(python_blocks(path.read_text(encoding="utf-8"))))
+        failures.extend(check_file(path))
+        checked += blocks
+        print(f"checked {path} ({blocks} python block(s))")
+    if failures:
+        print("\n".join(["", "FAILURES:", *failures]), file=sys.stderr)
+        return 1
+    print(f"ok: {checked} snippet(s) executed, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    import os
+
+    os.chdir(REPO_ROOT)  # snippets read benchmark CSVs etc. relative to the root
+    raise SystemExit(main(sys.argv[1:]))
