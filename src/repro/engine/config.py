@@ -28,7 +28,7 @@ class TrainerConfig:
     max_epochs: int = 20
     target_accuracy: Optional[float] = None
     seed: int = 7
-    evaluate_every_epochs: int = 1
+    evaluate_every_epochs: int = 1  # 0 disables evaluation entirely
     use_augmentation: bool = False
     dataset_overrides: Dict[str, int] = field(default_factory=dict)
     model_overrides: Dict[str, float] = field(default_factory=dict)
@@ -43,6 +43,10 @@ class TrainerConfig:
             raise ConfigurationError("max_epochs must be >= 1")
         if self.target_accuracy is not None and not 0.0 < self.target_accuracy <= 1.0:
             raise ConfigurationError("target_accuracy must be in (0, 1]")
+        if self.evaluate_every_epochs < 0:
+            raise ConfigurationError(
+                "evaluate_every_epochs must be >= 0 (0 disables evaluation)"
+            )
 
 
 @dataclass

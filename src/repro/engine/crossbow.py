@@ -14,8 +14,9 @@ the model SMA returns upon termination.
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,13 +33,13 @@ from repro.engine.scheduler import SchedulingPolicy, TaskScheduler
 from repro.engine.task_manager import TaskManager
 from repro.errors import ConfigurationError
 from repro.models import create_model
-from repro.nn.metrics import accuracy
+from repro.nn.metrics import evaluate_top1
 from repro.nn.module import Module
+from repro.serve.checkpoint import Checkpoint, CheckpointStore
 from repro.optim.easgd import EASGD, EASGDConfig
 from repro.optim.schedules import hyperparameters_for_model, schedule_for_model
 from repro.optim.sma import SMA, SMAConfig
 from repro.gpusim import Tracer, cost_profile_for_model, titan_x_server
-from repro.tensor.tensor import Tensor, no_grad
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState
 
@@ -198,6 +199,17 @@ class CrossbowTrainer:
         self._last_lr = self.schedule.rate(0.0)
         self._accuracy_before_lr_change: Optional[float] = None
 
+        # Serving plane (repro.serve) ---------------------------------------------------
+        # The materialised central model is cached keyed on the synchroniser's
+        # version counter, so back-to-back evaluate()/publish_checkpoint()
+        # calls without an intervening step share one clone-and-average pass.
+        self._central_cache: Optional[Module] = None
+        self._central_cache_key: Optional[Tuple[int, int]] = None
+        #: optional CheckpointStore that publish_checkpoint() feeds
+        self.checkpoint_store: Optional[CheckpointStore] = None
+        self._evaluation_service = None  # repro.serve.EvaluationService
+        self._last_eval_epoch: Optional[int] = None
+
     # ------------------------------------------------------------------ construction helpers
     def _build_synchroniser(self, num_replicas: int):
         center = self.initial_model.parameter_vector()
@@ -241,10 +253,44 @@ class CrossbowTrainer:
         for epoch in range(config.max_epochs):
             self._apply_schedule(epoch)
             train_loss = self._train_epoch(epoch)
-            if (epoch + 1) % config.evaluate_every_epochs == 0 or epoch == config.max_epochs - 1:
+            eval_epoch = config.evaluate_every_epochs > 0 and (
+                (epoch + 1) % config.evaluate_every_epochs == 0
+                or epoch == config.max_epochs - 1
+            )
+            pending_from: Optional[int] = None
+            if self._evaluation_service is not None:
+                # Absorb any accuracies the off-path evaluator finished since
+                # the last epoch before recording this one.
+                self._evaluation_service.poll()
+            if eval_epoch and self._evaluation_service is not None:
+                # Off the critical path: snapshot z, hand it to the service,
+                # and record the accuracy as pending — resolve_accuracy()
+                # fills it (and any carried copies) in once the worker reports.
+                checkpoint = self.publish_checkpoint(epoch=epoch)
+                self._evaluation_service.submit(checkpoint, epoch=epoch)
+                self._last_eval_epoch = epoch
+                if config.target_accuracy is not None:
+                    # The early-stop check below needs this epoch's real
+                    # accuracy, so a target turns the epoch boundary into a
+                    # barrier: process mode waits only for the in-flight
+                    # evaluation (which overlapped this epoch's training),
+                    # serial mode evaluates the deferred queue here.
+                    self._evaluation_service.drain()
+                    test_accuracy = self._evaluation_service.accuracy_for_epoch(epoch)
+                    pending_from = None
+                else:
+                    test_accuracy = float("nan")
+                    pending_from = epoch
+            elif eval_epoch:
+                if self.checkpoint_store is not None:
+                    self.publish_checkpoint(epoch=epoch)
                 test_accuracy = self.evaluate()
             else:
                 test_accuracy = self.metrics.records[-1].test_accuracy if self.metrics.records else 0.0
+                if math.isnan(test_accuracy):
+                    # Carrying forward a still-pending accuracy: register under
+                    # the same source epoch so one resolution covers the chain.
+                    pending_from = self._last_eval_epoch
             record = EpochRecord(
                 epoch=epoch,
                 sim_time=self.server.now(),
@@ -254,7 +300,7 @@ class CrossbowTrainer:
                 learning_rate=self._last_lr,
                 replicas=len(self.learners),
             )
-            self.metrics.add(record)
+            self.metrics.add(record, pending_from=pending_from)
             logger.debug(
                 "epoch %d: loss=%.4f acc=%.4f sim_time=%.1fs replicas=%d",
                 epoch,
@@ -270,6 +316,13 @@ class CrossbowTrainer:
             ):
                 reached = True
                 break
+
+        if self._evaluation_service is not None:
+            # Barrier: every queued checkpoint is evaluated and every pending
+            # record resolved, so the returned metrics are bit-identical to
+            # what inline evaluation would have reported on this seed.
+            self._evaluation_service.drain()
+            self.metrics.assert_resolved()
 
         return TrainingResult(
             system="crossbow",
@@ -498,6 +551,10 @@ class CrossbowTrainer:
             self._executor.invalidate()
         self.replica_bank.pack([learner.replica for learner in self.learners])
         self._rebuild_synchroniser_preserving_center()
+        # The synchroniser object (and its version counter) was replaced, and
+        # the replica set changed; drop the cached central model outright.
+        self._central_cache = None
+        self._central_cache_key = None
         self.task_manager.reset_window()
 
     def _rebuild_synchroniser_preserving_center(self) -> None:
@@ -517,6 +574,11 @@ class CrossbowTrainer:
         new_rate = self.schedule.rate(float(epoch))
         if new_rate != self._last_lr:
             if self.config.restart_on_lr_change and self.config.synchronisation == "sma":
+                if self._evaluation_service is not None:
+                    # The restart rule compares real accuracies across the LR
+                    # change; force the off-path evaluations to complete first
+                    # so the decision matches inline evaluation exactly.
+                    self._evaluation_service.drain()
                 # §3.2: if accuracy did not improve across the learning-rate
                 # change, restart the averaging process from the current centre.
                 current = self.metrics.final_accuracy()
@@ -535,7 +597,18 @@ class CrossbowTrainer:
         SMA only averages trainable parameters; non-trainable state (the
         batch-norm running statistics) is averaged across the replicas, which is
         the standard practice for evaluating an averaged model.
+
+        The materialised module is cached keyed on the synchroniser's version
+        counter and the learner count: back-to-back calls without an
+        intervening training step (evaluate + publish_checkpoint at an epoch
+        boundary, say) return the same instance without re-cloning,
+        re-averaging, or — under ``execution="process"`` — re-fetching worker
+        buffers.  Treat it as a read-only snapshot; the next step invalidates
+        it.
         """
+        key = (getattr(self.synchroniser, "version", -1), len(self.learners))
+        if self._central_cache is not None and key == self._central_cache_key:
+            return self._central_cache
         if self._executor is not None:
             # Batch-norm statistics accumulate in the worker processes; pull
             # them back before averaging (weights never need this round trip).
@@ -549,20 +622,58 @@ class CrossbowTrainer:
             for name, buffer in target_buffers.items():
                 stacked = np.stack([buffers[name] for buffers in replica_buffers])
                 buffer[...] = stacked.mean(axis=0)
+        self._central_cache = model
+        self._central_cache_key = key
         return model
 
     def evaluate(self, batch_size: int = 256) -> float:
         """Top-1 accuracy of the central average model on the held-out test set."""
+        return evaluate_top1(
+            self.central_model(), self.pipeline.test_batches(batch_size=batch_size)
+        )
+
+    # ------------------------------------------------------------------------ serving plane
+    def publish_checkpoint(self, epoch: Optional[int] = None) -> Checkpoint:
+        """Snapshot the central model ``z`` for the serving plane.
+
+        Captures the central parameter vector, the replica-averaged batch-norm
+        buffers and run metadata (epoch, iteration, SMA restart count) as a
+        :class:`~repro.serve.checkpoint.Checkpoint`, publishing it to the
+        attached :class:`~repro.serve.checkpoint.CheckpointStore` when one is
+        set.  Called by :meth:`train` at evaluation boundaries; safe to call
+        from user code at any sync boundary — the snapshot is a private copy,
+        so training continues unaffected.
+        """
         model = self.central_model()
-        model.eval()
-        correct = 0
-        total = 0
-        for batch in self.pipeline.test_batches(batch_size=batch_size):
-            with no_grad():
-                logits = model(Tensor(batch.images))
-            correct += int(round(accuracy(logits, batch.labels) * batch.size))
-            total += batch.size
-        return correct / total if total else 0.0
+        checkpoint = Checkpoint.from_model(
+            model,
+            epoch=-1 if epoch is None else epoch,
+            iteration=self._iteration,
+            sma_restarts=getattr(self.synchroniser, "restarts", 0),
+        )
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.publish(checkpoint)
+        return checkpoint
+
+    def attach_checkpoint_store(self, store: CheckpointStore) -> CheckpointStore:
+        """Route :meth:`publish_checkpoint` snapshots into ``store``."""
+        self.checkpoint_store = store
+        return store
+
+    def attach_evaluation_service(self, service):
+        """Evaluate off the training loop via a :class:`repro.serve.EvaluationService`.
+
+        Binds the service to this trainer's model architecture, test pipeline
+        and metrics, then switches :meth:`train` from inline evaluation to
+        publish-and-defer: eval-epoch accuracies are recorded as pending and
+        resolved asynchronously, with a ``drain()`` barrier at the end of
+        training (and before any SMA restart decision) keeping fixed-seed
+        results bit-identical to inline evaluation.  The caller keeps
+        ownership: ``service.close()`` is not called by the trainer.
+        """
+        service.bind(self.initial_model, self.pipeline, self.metrics)
+        self._evaluation_service = service
+        return service
 
     # ------------------------------------------------------------------------ lifecycle
     def close(self) -> None:

@@ -71,6 +71,31 @@ def _fork_context():
     return multiprocessing.get_context("fork")
 
 
+def wait_for_result(results, processes, deadline: float, what: str = "worker results"):
+    """One payload from a worker result queue, failing fast on dead workers.
+
+    Polls ``results`` (a ``multiprocessing.Queue``) until ``deadline``
+    (a ``time.monotonic`` instant), checking worker liveness between polls so
+    a crashed worker surfaces as a :class:`~repro.errors.SchedulingError`
+    with a useful message instead of an indefinite block.  Shared by the
+    learner :class:`WorkerPool` and the off-path evaluator worker of
+    :mod:`repro.serve.evaluation`.
+    """
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise SchedulingError(f"timed out waiting for {what}")
+        try:
+            return results.get(timeout=min(remaining, 1.0))
+        except queue_module.Empty:
+            dead = [p.name for p in processes if not p.is_alive()]
+            if dead:
+                raise SchedulingError(
+                    f"worker process(es) {dead} died without reporting a result "
+                    "(see the worker's stderr for the original error)"
+                ) from None
+
+
 def _release_segment(segment: shared_memory.SharedMemory) -> None:
     """Close and unlink a shared segment, tolerating double release."""
     try:
@@ -294,22 +319,12 @@ class WorkerPool:
         received = 0
         deadline = time.monotonic() + _RESULT_TIMEOUT_S
         while received < self.num_workers:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise SchedulingError(
-                    f"timed out after {_RESULT_TIMEOUT_S:.0f}s waiting for "
-                    f"{self.num_workers - received} of {self.num_workers} worker results"
-                )
-            try:
-                index, payload, error = self._results.get(timeout=min(remaining, 1.0))
-            except queue_module.Empty:
-                dead = [p.name for p in self._processes if not p.is_alive()]
-                if dead:
-                    raise SchedulingError(
-                        f"worker process(es) {dead} died without reporting a result "
-                        "(see the worker's stderr for the original error)"
-                    ) from None
-                continue
+            index, payload, error = wait_for_result(
+                self._results,
+                self._processes,
+                deadline,
+                what=f"{self.num_workers - received} of {self.num_workers} worker results",
+            )
             if error is not None:
                 raise SchedulingError(f"learner worker {index} failed:\n{error}")
             payloads[index] = payload

@@ -10,10 +10,12 @@ from the per-epoch records collected here; "time" is the simulated clock of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
+
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -37,16 +39,59 @@ class EpochRecord:
 
 
 class TrainingMetrics:
-    """Collects per-epoch records and answers TTA / ETA queries."""
+    """Collects per-epoch records and answers TTA / ETA queries.
+
+    Records are normally complete when added; with an off-path
+    :class:`~repro.serve.evaluation.EvaluationService` attached to the
+    trainer, an epoch's ``test_accuracy`` may still be *pending* (recorded as
+    ``NaN``) when the record is added, and is filled in later via
+    :meth:`resolve_accuracy` once the evaluator worker reports.  Records that
+    carry an earlier eval epoch's accuracy forward register against the same
+    source epoch, so one resolution updates the whole carried chain exactly as
+    inline evaluation would have.
+    """
 
     #: number of trailing epochs over which the median accuracy is taken
     MEDIAN_WINDOW = 5
 
     def __init__(self) -> None:
         self.records: List[EpochRecord] = []
+        # source eval epoch -> indices of records awaiting its accuracy
+        self._pending: Dict[int, List[int]] = {}
 
-    def add(self, record: EpochRecord) -> None:
+    def add(self, record: EpochRecord, pending_from: Optional[int] = None) -> None:
+        """Append a record; ``pending_from`` defers its accuracy to that epoch's
+        asynchronous evaluation result."""
+        if pending_from is not None:
+            self._pending.setdefault(pending_from, []).append(len(self.records))
         self.records.append(record)
+
+    def resolve_accuracy(self, source_epoch: int, accuracy: float) -> int:
+        """Fill in the accuracy of ``source_epoch`` and every record carrying it.
+
+        Returns the number of records updated (0 if nothing was pending on
+        that epoch — e.g. it resolved before any carried record registered).
+        """
+        indices = self._pending.pop(source_epoch, [])
+        for index in indices:
+            self.records[index] = replace(self.records[index], test_accuracy=accuracy)
+        return len(indices)
+
+    def has_pending(self) -> bool:
+        """Whether any record still awaits an asynchronous evaluation result."""
+        return bool(self._pending)
+
+    def pending_sources(self) -> List[int]:
+        """Eval epochs whose accuracies have not been resolved yet."""
+        return sorted(self._pending)
+
+    def assert_resolved(self) -> None:
+        """Raise if any accuracy is still pending (call after a drain barrier)."""
+        if self._pending:
+            raise ConfigurationError(
+                f"epoch accuracies still pending for eval epochs {self.pending_sources()}; "
+                "drain the evaluation service before reading final metrics"
+            )
 
     def __len__(self) -> int:
         return len(self.records)

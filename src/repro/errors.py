@@ -30,3 +30,8 @@ class MemoryPlanError(ReproError):
 
 class DataError(ReproError):
     """A dataset or batch pipeline was used incorrectly."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be saved, loaded or found (bad path, missing
+    metadata key, or a version that was never published / already evicted)."""

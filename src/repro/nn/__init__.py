@@ -19,7 +19,7 @@ from repro.nn.layers import (
     ReLU,
 )
 from repro.nn.losses import CrossEntropyLoss
-from repro.nn.metrics import accuracy, top_k_accuracy
+from repro.nn.metrics import accuracy, evaluate_top1, top_k_accuracy
 
 __all__ = [
     "Module",
@@ -38,5 +38,6 @@ __all__ = [
     "Identity",
     "CrossEntropyLoss",
     "accuracy",
+    "evaluate_top1",
     "top_k_accuracy",
 ]

@@ -6,7 +6,7 @@ from typing import Union
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, no_grad
 
 
 def _logits_array(logits: Union[Tensor, np.ndarray]) -> np.ndarray:
@@ -23,6 +23,26 @@ def accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray) -> float:
         )
     predictions = scores.argmax(axis=-1)
     return float((predictions == targets).mean())
+
+
+def evaluate_top1(model, batches) -> float:
+    """Top-1 accuracy of ``model`` over an iterable of evaluation batches.
+
+    The single arithmetic path shared by the trainer's inline ``evaluate()``
+    and the off-path :class:`~repro.serve.evaluation.EvaluationService`, so a
+    deferred evaluation of the same weights is bit-identical to an inline one.
+    Puts the model in eval mode (and leaves it there); ``batches`` yield
+    objects with ``images``, ``labels`` and ``size`` attributes.
+    """
+    model.eval()
+    correct = 0
+    total = 0
+    for batch in batches:
+        with no_grad():
+            logits = model(Tensor(batch.images))
+        correct += int(round(accuracy(logits, batch.labels) * batch.size))
+        total += batch.size
+    return correct / total if total else 0.0
 
 
 def top_k_accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray, k: int = 5) -> float:

@@ -67,6 +67,9 @@ class EASGD:
         )
         self.center = np.array(initial_model, dtype=np.float32, copy=True)
         self.iteration = 0
+        #: monotone counter bumped by every mutating operation, mirroring
+        #: :attr:`repro.optim.sma.SMA.version` for central-model caching.
+        self.version = 0
 
     def should_synchronise(self) -> bool:
         return (self.iteration + 1) % self.config.communication_period == 0
@@ -84,6 +87,7 @@ class EASGD:
         total = np.sum(np.stack([np.asarray(c, dtype=np.float32) for c in corrections]), axis=0)
         self.center = self.center + total
         self.iteration += 1
+        self.version += 1
         return self.center
 
     def step(self, replicas: Sequence[np.ndarray]) -> List[np.ndarray]:
@@ -94,6 +98,7 @@ class EASGD:
             )
         if not self.should_synchronise():
             self.iteration += 1
+            self.version += 1
             return [np.asarray(r, dtype=np.float32) for r in replicas]
         corrections = [self.correction(replica) for replica in replicas]
         corrected = [
@@ -128,6 +133,7 @@ class EASGD:
             if updates is not None:
                 weights -= updates
             self.iteration += 1
+            self.version += 1
             return self.center
         corrections = self.elasticity * (weights - self.center)
         self.center = self.center + corrections.sum(axis=0)
@@ -135,12 +141,14 @@ class EASGD:
             np.add(corrections, updates, out=corrections)
         weights -= corrections
         self.iteration += 1
+        self.version += 1
         return self.center
 
     def restart(self, initial_model: Optional[np.ndarray] = None) -> None:
         """Provided for interface parity with SMA (EA-SGD keeps no momentum state)."""
         if initial_model is not None:
             self.center = np.array(initial_model, dtype=np.float32, copy=True)
+        self.version += 1
 
     def divergence(self, replicas: Sequence[np.ndarray]) -> float:
         distances = [float(np.linalg.norm(np.asarray(r) - self.center)) for r in replicas]

@@ -92,6 +92,10 @@ class SMA:
         self._previous_center = self.center.copy()
         self.iteration = 0
         self.restarts = 0
+        #: monotone counter bumped by every mutating operation (step, restart);
+        #: consumers cache derived state (the trainer's materialised central
+        #: model) keyed on it and invalidate when it moves.
+        self.version = 0
 
     # -- per-replica correction -------------------------------------------------------
     def correction(self, replica: np.ndarray) -> np.ndarray:
@@ -119,6 +123,7 @@ class SMA:
         self.center = self.center + total_correction + momentum_term
         self._previous_center = previous
         self.iteration += 1
+        self.version += 1
         return self.center
 
     def step(self, replicas: Sequence[np.ndarray]) -> List[np.ndarray]:
@@ -135,6 +140,7 @@ class SMA:
             )
         if not self.should_synchronise():
             self.iteration += 1
+            self.version += 1
             return [np.asarray(r, dtype=np.float32) for r in replicas]
         corrections = [self.correction(replica) for replica in replicas]
         corrected = [
@@ -192,6 +198,7 @@ class SMA:
             if updates is not None:
                 weights -= updates
             self.iteration += 1
+            self.version += 1
             return self.center
         if self.alpha == 0.0:
             # No-correction mode (τ = ∞ ablation): skip the (k, P) zero-matrix
@@ -204,6 +211,7 @@ class SMA:
             if updates is not None:
                 weights -= updates
             self.iteration += 1
+            self.version += 1
             return self.center
         corrections = self.alpha * (weights - self.center)
         previous = self.center.copy()
@@ -216,6 +224,7 @@ class SMA:
             np.add(corrections, updates, out=corrections)
         weights -= corrections
         self.iteration += 1
+        self.version += 1
         return self.center
 
     # -- restart (hyper-parameter changes, §3.2) -----------------------------------------
@@ -225,6 +234,7 @@ class SMA:
             self.center = np.array(initial_model, dtype=np.float32, copy=True)
         self._previous_center = self.center.copy()
         self.restarts += 1
+        self.version += 1
 
     # -- introspection --------------------------------------------------------------------
     def divergence(self, replicas: Sequence[np.ndarray]) -> float:

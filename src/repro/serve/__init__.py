@@ -1,0 +1,32 @@
+"""The serving plane: checkpoint store, off-path evaluation, micro-batch inference.
+
+Crossbow always evaluates the central average model ``z`` — but materialising
+``z`` and running the held-out set through it inline stalls SMA iterations.
+This package isolates the *analytical read path* (evaluation, inference) from
+the *transactional write path* (training), the same split HTAP systems make:
+
+* :mod:`repro.serve.checkpoint` — :class:`Checkpoint` snapshots of ``z``
+  (parameters + averaged batch-norm buffers + metadata) in a bounded
+  :class:`CheckpointStore` ring with optional ``.npz`` spill,
+* :mod:`repro.serve.evaluation` — :class:`EvaluationService`, a deferred
+  queue (serial) or dedicated worker process over shared memory (process)
+  that batch-evaluates queued checkpoints off the training loop and feeds
+  accuracies back into the training metrics, with a ``drain()`` barrier that
+  keeps fixed-seed results bit-identical to inline evaluation,
+* :mod:`repro.serve.inference` — :class:`InferenceServer`, a micro-batching
+  front-end with max-batch/max-latency coalescing knobs and between-batch
+  hot swap to the newest published checkpoint.
+"""
+
+from repro.serve.checkpoint import Checkpoint, CheckpointStore
+from repro.serve.evaluation import EvaluationService, EvaluationTicket
+from repro.serve.inference import InferenceServer, ServingStats
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "EvaluationService",
+    "EvaluationTicket",
+    "InferenceServer",
+    "ServingStats",
+]

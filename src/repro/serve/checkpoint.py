@@ -1,0 +1,247 @@
+"""Central-model checkpoints and the bounded in-memory checkpoint store.
+
+A :class:`Checkpoint` is an immutable-by-convention snapshot of the central
+average model ``z``: the flat parameter vector, the replica-averaged
+batch-norm buffers, and run metadata (epoch, iteration, SMA restart count).
+The trainer publishes one at sync/epoch boundaries via
+``CrossbowTrainer.publish_checkpoint()``; downstream consumers — the off-path
+:class:`~repro.serve.evaluation.EvaluationService` and the
+:class:`~repro.serve.inference.InferenceServer` — only ever read them, so the
+training loop never blocks on the serving plane.
+
+The :class:`CheckpointStore` keeps the newest ``capacity`` snapshots in a
+ring; older ones either drop off or, with ``spill_dir`` set, spill to ``.npz``
+archives (via :mod:`repro.utils.serialization`) from which :meth:`get` can
+transparently reload them.  All store operations are thread-safe: the
+inference server hot-swaps from another thread while the trainer publishes.
+
+This module deliberately imports nothing from :mod:`repro.engine`, so the
+trainer can construct :class:`Checkpoint` objects without an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.nn.module import Module
+from repro.utils.serialization import load_arrays, save_arrays
+
+_PARAMETERS_KEY = "parameters"
+_BUFFER_PREFIX = "buffer:"
+
+
+@dataclass
+class Checkpoint:
+    """One snapshot of the central average model ``z``.
+
+    Parameters
+    ----------
+    parameters : numpy.ndarray
+        The flat ``(P,)`` float32 central parameter vector (a private copy,
+        never a view into the live replica bank).
+    buffers : dict
+        Replica-averaged non-trainable state (batch-norm running statistics),
+        keyed by dotted buffer path as in ``Module.named_buffers()``.
+    epoch, iteration, sma_restarts : int
+        Where in the run the snapshot was taken.
+    version : int, optional
+        Monotone identity assigned by :meth:`CheckpointStore.publish`;
+        ``None`` until published.
+    metadata : dict
+        Extra scalar metadata carried into ``.npz`` spills.
+    """
+
+    parameters: np.ndarray
+    buffers: Dict[str, np.ndarray]
+    epoch: int = -1
+    iteration: int = 0
+    sma_restarts: int = 0
+    version: Optional[int] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_model(cls, model: Module, **kwargs) -> "Checkpoint":
+        """Snapshot a materialised central model (copies parameters and buffers)."""
+        return cls(
+            parameters=model.parameter_vector(copy=True),
+            buffers={name: np.array(buf, copy=True) for name, buf in model.named_buffers()},
+            **kwargs,
+        )
+
+    def apply_to(self, model: Module) -> Module:
+        """Load this snapshot's parameters and buffers into ``model`` (returned)."""
+        model.load_parameter_vector(self.parameters)
+        target = dict(model.named_buffers())
+        for name, value in self.buffers.items():
+            if name not in target:
+                raise CheckpointError(
+                    f"checkpoint buffer {name!r} does not exist on the target model"
+                )
+            target[name][...] = value
+        return model
+
+    def num_parameters(self) -> int:
+        return int(self.parameters.size)
+
+    def nbytes(self) -> int:
+        """In-memory footprint, the quantity the store's ring bounds."""
+        return int(
+            self.parameters.nbytes + sum(buf.nbytes for buf in self.buffers.values())
+        )
+
+    # -- spill round trip -------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {_PARAMETERS_KEY: self.parameters}
+        for name, buf in self.buffers.items():
+            arrays[_BUFFER_PREFIX + name] = buf
+        return arrays
+
+    def spill_metadata(self) -> Dict[str, float]:
+        metadata = dict(self.metadata)
+        metadata.update(
+            epoch=self.epoch,
+            iteration=self.iteration,
+            sma_restarts=self.sma_restarts,
+            version=-1 if self.version is None else self.version,
+        )
+        return metadata
+
+    @classmethod
+    def from_archive(cls, path: Union[str, Path]) -> "Checkpoint":
+        """Reload a checkpoint spilled with :func:`save_arrays` semantics."""
+        arrays, metadata = load_arrays(
+            path, required_metadata=("epoch", "iteration", "sma_restarts", "version")
+        )
+        if _PARAMETERS_KEY not in arrays:
+            raise CheckpointError(f"archive {path} holds no {_PARAMETERS_KEY!r} array")
+        buffers = {
+            name[len(_BUFFER_PREFIX) :]: value
+            for name, value in arrays.items()
+            if name.startswith(_BUFFER_PREFIX)
+        }
+        version = int(metadata.pop("version"))
+        return cls(
+            parameters=np.asarray(arrays[_PARAMETERS_KEY], dtype=np.float32),
+            buffers=buffers,
+            epoch=int(metadata.pop("epoch")),
+            iteration=int(metadata.pop("iteration")),
+            sma_restarts=int(metadata.pop("sma_restarts")),
+            version=None if version < 0 else version,
+            metadata=metadata,
+        )
+
+
+class CheckpointStore:
+    """A bounded ring of central-model checkpoints with optional ``.npz`` spill.
+
+    ``publish`` assigns each checkpoint a monotone version and appends it to
+    the ring; once more than ``capacity`` snapshots are live, the oldest is
+    evicted — written to ``spill_dir`` when one is configured, dropped
+    otherwise.  ``get`` serves from memory first and transparently reloads
+    spilled versions, so consumers address checkpoints by version alone.
+
+    Parameters
+    ----------
+    capacity : int
+        Maximum number of in-memory snapshots (≥ 1).
+    spill_dir : str or Path, optional
+        Directory for evicted snapshots; created on first spill.
+    """
+
+    def __init__(self, capacity: int = 8, spill_dir: Optional[Union[str, Path]] = None) -> None:
+        if capacity < 1:
+            raise CheckpointError("checkpoint store capacity must be >= 1")
+        self.capacity = capacity
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._ring: "OrderedDict[int, Checkpoint]" = OrderedDict()
+        self._spilled: Dict[int, Path] = {}
+        self._next_version = 0
+        self._lock = threading.Lock()
+
+    # -- write path --------------------------------------------------------------------
+    def publish(self, checkpoint: Checkpoint) -> int:
+        """Add a checkpoint, assign its version, evict/spill the oldest if full.
+
+        The ``.npz`` spill write happens *outside* the store lock, so a
+        publishing trainer never blocks the inference server's ``latest()``
+        hot-swap reads on disk I/O (evicted snapshots are private copies —
+        nothing mutates them after eviction).
+        """
+        evictions = []
+        with self._lock:
+            version = self._next_version
+            self._next_version += 1
+            checkpoint.version = version
+            self._ring[version] = checkpoint
+            while len(self._ring) > self.capacity:
+                evictions.append(self._ring.popitem(last=False))
+        if self.spill_dir is not None:
+            for evicted_version, evicted in evictions:
+                path = save_arrays(
+                    self._spill_path(evicted_version),
+                    evicted.to_arrays(),
+                    evicted.spill_metadata(),
+                )
+                with self._lock:
+                    self._spilled[evicted_version] = path
+        return version
+
+    def _spill_path(self, version: int) -> Path:
+        assert self.spill_dir is not None
+        return self.spill_dir / f"checkpoint-{version:08d}.npz"
+
+    # -- read path ---------------------------------------------------------------------
+    def latest(self) -> Optional[Checkpoint]:
+        """The newest checkpoint, or ``None`` when nothing was published yet."""
+        with self._lock:
+            if not self._ring:
+                return None
+            return next(reversed(self._ring.values()))
+
+    def latest_version(self) -> Optional[int]:
+        with self._lock:
+            if not self._ring:
+                return None
+            return next(reversed(self._ring))
+
+    def get(self, version: int) -> Checkpoint:
+        """Fetch a checkpoint by version, reloading from spill if evicted."""
+        with self._lock:
+            if version in self._ring:
+                return self._ring[version]
+            spill_path = self._spilled.get(version)
+        if spill_path is not None:
+            return Checkpoint.from_archive(spill_path)
+        raise CheckpointError(
+            f"checkpoint version {version} is not in the store "
+            f"(live: {self.versions()}, spilled: {sorted(self._spilled)})"
+        )
+
+    def versions(self) -> List[int]:
+        """Versions currently held in memory, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def spilled_versions(self) -> List[int]:
+        with self._lock:
+            return sorted(self._spilled)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __contains__(self, version: int) -> bool:
+        with self._lock:
+            return version in self._ring or version in self._spilled
+
+    def nbytes(self) -> int:
+        """Total in-memory footprint of the live ring."""
+        with self._lock:
+            return sum(checkpoint.nbytes() for checkpoint in self._ring.values())

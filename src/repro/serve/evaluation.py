@@ -1,0 +1,374 @@
+"""Off-path evaluation of central-model checkpoints.
+
+Inline evaluation re-materialises the central average model ``z`` and runs the
+whole held-out set through it *on the training critical path*.  The
+:class:`EvaluationService` moves that work off-path: the trainer publishes a
+:class:`~repro.serve.checkpoint.Checkpoint` at evaluation boundaries and keeps
+iterating while the snapshot is evaluated elsewhere; the resulting accuracy is
+fed back into :class:`~repro.engine.metrics.TrainingMetrics` asynchronously
+(:meth:`TrainingMetrics.resolve_accuracy`).
+
+Two execution modes, mirroring ``CrossbowConfig.execution``:
+
+* ``"serial"`` — a deferred queue.  Submissions cost one snapshot copy;
+  the actual forward passes run at :meth:`drain` (or explicit
+  :meth:`poll(block=True) <poll>`), i.e. after training, not during it.
+* ``"process"`` — a dedicated evaluator worker process.  Checkpoint parameter
+  vectors travel through a ring of shared-memory slots
+  (:class:`~repro.engine.executor.SharedMatrix` — the same zero-copy
+  machinery the multi-process learner executor uses), so publishing costs one
+  ``(P,)`` block copy into shared memory; the forward passes overlap training
+  in the worker.
+
+Either way the arithmetic is :func:`repro.nn.metrics.evaluate_top1` on the
+checkpoint's exact parameters and averaged batch-norm buffers — the same code
+path as inline ``CrossbowTrainer.evaluate()`` — so after a :meth:`drain`
+barrier a fixed-seed run reports bit-identical accuracies to inline
+evaluation.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.executor import (
+    SharedMatrix,
+    _fork_context,
+    process_execution_supported,
+    wait_for_result,
+)
+from repro.errors import ConfigurationError, SchedulingError
+from repro.nn.metrics import evaluate_top1
+from repro.nn.module import Module
+from repro.serve.checkpoint import Checkpoint
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.evaluation")
+
+#: seconds the parent waits for one evaluation result before declaring the
+#: evaluator dead (large models on slow CI hosts still finish well inside this)
+_RESULT_TIMEOUT_S = 300.0
+
+
+@dataclass
+class EvaluationTicket:
+    """Bookkeeping for one submitted checkpoint evaluation."""
+
+    ticket: int
+    epoch: int
+    version: Optional[int]
+    slot: Optional[int] = None  # shared-memory slot (process mode only)
+    checkpoint: Optional[Checkpoint] = None  # deferred snapshot (serial mode only)
+
+
+@dataclass
+class _EvaluatorState:
+    """Everything the evaluator worker needs; inherited via fork, never pickled."""
+
+    model: Module
+    pipeline: Any  # BatchPipeline (duck-typed: .test_batches(batch_size))
+    batch_size: int
+    slots: np.ndarray  # (num_slots, P) shared parameter ring
+    commands: Any  # multiprocessing.SimpleQueue
+    results: Any  # multiprocessing.Queue
+
+
+def _evaluator_main(state: _EvaluatorState) -> None:
+    """Worker body: evaluate checkpoints from shared slots until told to stop.
+
+    Command protocol: ``("eval", ticket, slot, buffers)`` loads the parameter
+    vector from shared slot ``slot`` plus the (queue-shipped, small) averaged
+    buffers into the worker's private model and replies ``(ticket, accuracy,
+    None)``; ``("stop",)`` exits.  Any exception is forwarded as ``(ticket,
+    None, traceback)`` so the parent fails fast instead of hanging.
+    """
+    model = state.model
+    target_buffers = dict(model.named_buffers())
+    while True:
+        command = state.commands.get()
+        op = command[0]
+        if op == "stop":
+            return
+        ticket = command[1]
+        try:
+            if op != "eval":
+                raise SchedulingError(f"unknown evaluator command {op!r}")
+            _, _, slot, buffers = command
+            model.load_parameter_vector(state.slots[slot])
+            for name, value in buffers.items():
+                target_buffers[name][...] = value
+            accuracy = evaluate_top1(
+                model, state.pipeline.test_batches(batch_size=state.batch_size)
+            )
+            state.results.put((ticket, accuracy, None))
+        except Exception:  # noqa: BLE001 - forwarded to the parent verbatim
+            state.results.put((ticket, None, traceback.format_exc()))
+
+
+class EvaluationService:
+    """Batch-evaluates queued central-model checkpoints off the training loop.
+
+    Attach to a trainer with ``trainer.attach_evaluation_service(service)``;
+    the trainer then publishes checkpoints instead of evaluating inline, and
+    every accuracy flows back into the trainer's metrics through
+    :meth:`poll`/:meth:`drain`.  The service can also be used standalone by
+    calling :meth:`bind` with a model template and batch pipeline, then
+    submitting checkpoints directly.
+
+    Parameters
+    ----------
+    execution : str
+        ``"serial"`` (deferred queue) or ``"process"`` (evaluator worker over
+        shared memory; requires the POSIX ``fork`` start method).
+    batch_size : int
+        Evaluation batch size, matching inline ``evaluate()``'s default.
+    num_slots : int
+        Process mode: shared-memory slots for in-flight parameter vectors.
+        Publishing more than ``num_slots`` unresolved checkpoints applies
+        backpressure (the submitter blocks on the oldest result).
+
+    Notes
+    -----
+    Results are only applied on the submitting thread, inside :meth:`poll` /
+    :meth:`drain` — metrics are never mutated from a background thread, which
+    keeps the resolution order deterministic.
+    """
+
+    def __init__(
+        self,
+        execution: str = "serial",
+        batch_size: int = 256,
+        num_slots: int = 4,
+    ) -> None:
+        if execution not in ("serial", "process"):
+            raise ConfigurationError("evaluation execution must be 'serial' or 'process'")
+        if execution == "process" and not process_execution_supported():
+            raise ConfigurationError(
+                "execution='process' requires the 'fork' start method; "
+                "use execution='serial' on this platform"
+            )
+        if num_slots < 1:
+            raise ConfigurationError("evaluation service needs at least one shared slot")
+        self.execution = execution
+        self.batch_size = batch_size
+        self.num_slots = num_slots
+        self._model: Optional[Module] = None
+        self._pipeline = None
+        self._metrics = None
+        self._queue: List[EvaluationTicket] = []  # submitted, not yet resolved
+        self._next_ticket = 0
+        self.accuracies: Dict[int, float] = {}  # ticket -> resolved accuracy
+        self._epoch_accuracies: Dict[int, float] = {}  # epoch -> resolved accuracy
+        self.evaluations_completed = 0
+        # process-mode machinery, spawned lazily on first submit
+        self._shared: Optional[SharedMatrix] = None
+        self._commands = None
+        self._results = None
+        self._process = None
+        self._free_slots: List[int] = []
+        self._closed = False
+
+    # -- wiring ------------------------------------------------------------------------
+    def bind(self, model_template: Module, pipeline, metrics=None) -> "EvaluationService":
+        """Provide the model template, test-data pipeline and metrics sink.
+
+        ``model_template`` is cloned once; evaluations overwrite its
+        parameters/buffers from each checkpoint, so any same-architecture
+        module works.  Called by ``CrossbowTrainer.attach_evaluation_service``.
+        """
+        if self._process is not None:
+            raise ConfigurationError("cannot rebind a service whose worker is running")
+        self._model = model_template.clone()
+        self._pipeline = pipeline
+        self._metrics = metrics
+        return self
+
+    @property
+    def bound(self) -> bool:
+        return self._model is not None
+
+    # -- submission --------------------------------------------------------------------
+    def submit(self, checkpoint: Checkpoint, epoch: Optional[int] = None) -> int:
+        """Queue one checkpoint for off-path evaluation; returns its ticket.
+
+        Serial mode defers the snapshot; process mode copies the parameter
+        vector into a free shared slot (blocking on the oldest in-flight
+        result when all slots are busy) and wakes the evaluator worker.
+        """
+        if self._closed:
+            raise ConfigurationError("evaluation service is closed")
+        if not self.bound:
+            raise ConfigurationError(
+                "bind() the service (or attach it to a trainer) before submitting"
+            )
+        ticket = EvaluationTicket(
+            ticket=self._next_ticket,
+            epoch=checkpoint.epoch if epoch is None else epoch,
+            version=checkpoint.version,
+        )
+        self._next_ticket += 1
+        if self.execution == "serial":
+            ticket.checkpoint = checkpoint
+            self._queue.append(ticket)
+            return ticket.ticket
+        self._ensure_worker(checkpoint.num_parameters())
+        while not self._free_slots:
+            # Backpressure: all slots hold unread snapshots; absorb results
+            # until one frees (keeps publishing O(slots) memory, not O(epochs)).
+            self._absorb(block=True)
+        slot = self._free_slots.pop()
+        assert self._shared is not None
+        self._shared.array[slot, :] = checkpoint.parameters
+        ticket.slot = slot
+        self._queue.append(ticket)
+        self._commands.put(("eval", ticket.ticket, slot, checkpoint.buffers))
+        return ticket.ticket
+
+    def _ensure_worker(self, num_parameters: int) -> None:
+        if self._process is not None and self._process.is_alive():
+            if self._shared is not None and self._shared.array.shape[1] != num_parameters:
+                raise ConfigurationError(
+                    f"checkpoint has {num_parameters} parameters but the evaluator "
+                    f"was spawned for {self._shared.array.shape[1]}"
+                )
+            return
+        ctx = _fork_context()
+        self._shared = SharedMatrix(self.num_slots, num_parameters)
+        self._free_slots = list(range(self.num_slots))
+        self._commands = ctx.SimpleQueue()
+        self._results = ctx.Queue()
+        state = _EvaluatorState(
+            model=self._model,
+            pipeline=self._pipeline,
+            batch_size=self.batch_size,
+            slots=self._shared.array,
+            commands=self._commands,
+            results=self._results,
+        )
+        self._process = ctx.Process(
+            target=_evaluator_main, args=(state,), daemon=True, name="evaluator-worker"
+        )
+        self._process.start()
+
+    # -- resolution --------------------------------------------------------------------
+    def poll(self) -> int:
+        """Apply any completed evaluations to the metrics; never blocks.
+
+        Returns the number of accuracies resolved by this call.  Serial mode
+        resolves nothing here — its queue is deferred until :meth:`drain`.
+        """
+        if self.execution == "serial":
+            return 0
+        return self._absorb(block=False)
+
+    def drain(self) -> Dict[int, float]:
+        """Barrier: evaluate/await every submitted checkpoint, resolve metrics.
+
+        After ``drain()`` returns, every submitted ticket has an accuracy in
+        :attr:`accuracies` and the bound metrics hold exactly the values
+        inline evaluation would have produced.  Returns ``{ticket: accuracy}``
+        for everything resolved by this call.
+        """
+        resolved_before = dict(self.accuracies)
+        if self.execution == "serial":
+            while self._queue:
+                ticket = self._queue.pop(0)
+                assert ticket.checkpoint is not None and self._model is not None
+                accuracy = evaluate_top1(
+                    ticket.checkpoint.apply_to(self._model),
+                    self._pipeline.test_batches(batch_size=self.batch_size),
+                )
+                self._resolve(ticket, accuracy)
+        else:
+            while self._queue:
+                self._absorb(block=True)
+        return {
+            ticket: accuracy
+            for ticket, accuracy in self.accuracies.items()
+            if ticket not in resolved_before
+        }
+
+    def _absorb(self, block: bool) -> int:
+        """Drain the worker's result queue; optionally block for one result."""
+        if self._results is None or not self._queue:
+            return 0
+        resolved = 0
+        by_ticket = {ticket.ticket: ticket for ticket in self._queue}
+        while self._queue:
+            if block and resolved == 0:
+                deadline = time.monotonic() + _RESULT_TIMEOUT_S
+                payload = wait_for_result(
+                    self._results, [self._process], deadline, what="an evaluation result"
+                )
+            else:
+                try:
+                    payload = self._results.get_nowait()
+                except queue_module.Empty:
+                    break
+            ticket_id, accuracy, error = payload
+            if error is not None:
+                raise SchedulingError(f"evaluator worker failed:\n{error}")
+            ticket = by_ticket.pop(ticket_id)
+            self._queue.remove(ticket)
+            if ticket.slot is not None:
+                self._free_slots.append(ticket.slot)
+            self._resolve(ticket, accuracy)
+            resolved += 1
+        return resolved
+
+    def _resolve(self, ticket: EvaluationTicket, accuracy: float) -> None:
+        self.accuracies[ticket.ticket] = accuracy
+        self._epoch_accuracies[ticket.epoch] = accuracy
+        self.evaluations_completed += 1
+        if self._metrics is not None:
+            self._metrics.resolve_accuracy(ticket.epoch, accuracy)
+
+    # -- introspection -----------------------------------------------------------------
+    def pending(self) -> int:
+        """Submitted checkpoints whose accuracy has not been resolved yet."""
+        return len(self._queue)
+
+    def accuracy_for_epoch(self, epoch: int) -> Optional[float]:
+        """The resolved accuracy of the checkpoint submitted for ``epoch``."""
+        return self._epoch_accuracies.get(epoch)
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the evaluator worker and release shared memory (idempotent).
+
+        Does **not** drain first: call :meth:`drain` before closing when the
+        queued accuracies matter.
+        """
+        self._closed = True
+        if self._process is not None:
+            try:
+                self._commands.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue already gone
+                pass
+            self._process.join(timeout=10.0)
+            if self._process.is_alive():  # pragma: no cover - stuck worker
+                self._process.terminate()
+                self._process.join(timeout=5.0)
+            self._process = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+        self._queue.clear()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,287 @@
+"""Micro-batching inference front-end over the checkpoint store.
+
+Serving one request per forward pass wastes the hardware exactly the way
+single-learner large-batch training wastes it in reverse: per-call framework
+overhead dominates and throughput collapses.  The :class:`InferenceServer`
+coalesces concurrent requests into one forward pass — the serving-side dual
+of Crossbow's "many small batches, fully utilised hardware" premise:
+
+* requests enter a queue and return a future immediately;
+* a serving loop batches them under two knobs — ``max_batch_size`` (samples
+  per forward pass) and ``max_latency_ms`` (how long the first request in a
+  batch may wait for company);
+* between batches the loop hot-swaps to the newest
+  :class:`~repro.serve.checkpoint.Checkpoint` in the store, so a training run
+  publishing checkpoints upgrades the served model with zero downtime.
+
+Latency percentiles and throughput are tracked per request and reported by
+:meth:`InferenceServer.stats`; ``benchmarks/bench_serving.py`` drives a load
+generator against the two knobs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.serve.checkpoint import Checkpoint, CheckpointStore
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.inference")
+
+
+@dataclass
+class _Request:
+    images: np.ndarray
+    future: Future
+    enqueued_at: float
+
+    @property
+    def size(self) -> int:
+        return int(self.images.shape[0])
+
+
+#: latency samples kept for percentile reporting (a rolling window, so a
+#: long-lived server's memory stays O(1) in the request count)
+LATENCY_WINDOW = 16384
+
+
+@dataclass
+class ServingStats:
+    """Counters (cumulative) and latency samples (rolling window)."""
+
+    requests: int = 0
+    samples: int = 0
+    batches: int = 0
+    hot_swaps: int = 0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    latencies_ms: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
+
+    def summary(self) -> Dict[str, float]:
+        """p50/p99 latency (over the last :data:`LATENCY_WINDOW` requests),
+        throughput and batching ratios for reporting."""
+        latencies = np.asarray(self.latencies_ms, dtype=np.float64)
+        if self.started_at is None:
+            elapsed = 0.0
+        else:
+            end = self.finished_at if self.finished_at is not None else time.perf_counter()
+            elapsed = end - self.started_at
+        return {
+            "requests": self.requests,
+            "samples": self.samples,
+            "batches": self.batches,
+            "hot_swaps": self.hot_swaps,
+            "mean_batch_size": self.samples / self.batches if self.batches else 0.0,
+            "p50_ms": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
+            "p99_ms": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+            "throughput_req_s": self.requests / elapsed if elapsed > 0 else 0.0,
+            "throughput_samples_s": self.samples / elapsed if elapsed > 0 else 0.0,
+        }
+
+
+class InferenceServer:
+    """Micro-batching model server fed from a :class:`CheckpointStore`.
+
+    Parameters
+    ----------
+    model_template : Module
+        Same-architecture module; cloned into the private serving model.
+    store : CheckpointStore, optional
+        Source of checkpoints.  The newest published version is loaded at
+        :meth:`start` and hot-swapped in between batches.  Omitted, the
+        server serves the template's own weights (useful for benchmarks).
+    checkpoint : Checkpoint, optional
+        Explicit initial snapshot (takes precedence over the store's latest).
+    max_batch_size : int
+        Maximum samples coalesced into one forward pass; a request that would
+        overflow the cap starts the next batch instead (only a single request
+        that alone exceeds the cap is ever served above it).  ``1`` disables
+        micro-batching (the baseline the benchmark compares against).
+    max_latency_ms : float
+        How long the oldest queued request may wait for co-batchable company
+        before the batch is closed; bounds the latency cost of coalescing.
+
+    Notes
+    -----
+    ``submit`` returns a :class:`concurrent.futures.Future` resolving to the
+    logits array for that request's samples; ``predict`` is the blocking
+    convenience wrapper.  Exceptions in the serving loop fail the affected
+    requests' futures, never the server thread silently.
+    """
+
+    def __init__(
+        self,
+        model_template: Module,
+        store: Optional[CheckpointStore] = None,
+        checkpoint: Optional[Checkpoint] = None,
+        max_batch_size: int = 32,
+        max_latency_ms: float = 2.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if max_latency_ms < 0:
+            raise ConfigurationError("max_latency_ms must be >= 0")
+        self.model = model_template.clone()
+        self.model.eval()
+        self.store = store
+        self.max_batch_size = max_batch_size
+        self.max_latency_s = max_latency_ms / 1000.0
+        self.served_version: Optional[int] = None
+        self.stats = ServingStats()
+        self._queue: "Queue[_Request]" = Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        if checkpoint is not None:
+            self._load(checkpoint)
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        """Load the newest checkpoint (if any) and start the serving thread."""
+        if self._thread is not None:
+            raise ConfigurationError("inference server is already running")
+        self._maybe_hot_swap()
+        self._stop.clear()
+        self.stats.started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True, name="inference-server")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain nothing, stop the loop, fail any still-queued requests."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        self.stats.finished_at = time.perf_counter()
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except Empty:
+                break
+            request.future.set_exception(ConfigurationError("inference server stopped"))
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- request path ------------------------------------------------------------------
+    def submit(self, images: np.ndarray) -> Future:
+        """Queue one request (an ``(n, ...)`` sample array); returns a future."""
+        if self._thread is None:
+            raise ConfigurationError("start() the inference server before submitting")
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim < 2 or images.shape[0] < 1:
+            raise ConfigurationError(
+                f"requests are (n, ...) sample arrays with n >= 1, got shape {images.shape}"
+            )
+        future: Future = Future()
+        self._queue.put(_Request(images=images, future=future, enqueued_at=time.perf_counter()))
+        return future
+
+    def predict(self, images: np.ndarray, timeout: Optional[float] = 60.0) -> np.ndarray:
+        """Blocking convenience wrapper: logits for one request."""
+        return self.submit(images).result(timeout=timeout)
+
+    # -- serving loop ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        # A request that would overflow the current batch is held over to
+        # start the next one (the queue cannot push front).
+        holdover: Optional[_Request] = None
+        while not self._stop.is_set():
+            if holdover is not None:
+                first, holdover = holdover, None
+            else:
+                try:
+                    first = self._queue.get(timeout=0.01)
+                except Empty:
+                    continue
+            batch = [first]
+            total = first.size
+            deadline = first.enqueued_at + self.max_latency_s
+            while total < self.max_batch_size:
+                try:
+                    # Greedy: coalesce everything already queued without
+                    # waiting (continuous batching under sustained load).
+                    request = self._queue.get_nowait()
+                except Empty:
+                    # Queue ran dry below max_batch: wait for stragglers only
+                    # while the oldest request still has latency budget.
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    try:
+                        request = self._queue.get(timeout=remaining)
+                    except Empty:
+                        break
+                if total + request.size > self.max_batch_size:
+                    holdover = request
+                    break
+                batch.append(request)
+                total += request.size
+            self._maybe_hot_swap()
+            self._run_batch(batch)
+        if holdover is not None:
+            holdover.future.set_exception(ConfigurationError("inference server stopped"))
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        try:
+            images = (
+                batch[0].images
+                if len(batch) == 1
+                else np.concatenate([request.images for request in batch], axis=0)
+            )
+            with no_grad():
+                logits = self.model(Tensor(images)).data
+        except Exception as exc:  # noqa: BLE001 - fail the requests, not the loop
+            for request in batch:
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                request.future.set_exception(exc)
+            return
+        finished = time.perf_counter()
+        offset = 0
+        for request in batch:
+            result = logits[offset : offset + request.size]
+            offset += request.size
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_result(result)
+            self.stats.latencies_ms.append((finished - request.enqueued_at) * 1000.0)
+            self.stats.requests += 1
+            self.stats.samples += request.size
+        self.stats.batches += 1
+
+    # -- hot swap ----------------------------------------------------------------------
+    def _maybe_hot_swap(self) -> None:
+        if self.store is None:
+            return
+        latest = self.store.latest()
+        if latest is None or latest.version == self.served_version:
+            return
+        self._load(latest)
+        self.stats.hot_swaps += 1
+        logger.debug("hot-swapped to checkpoint version %s", self.served_version)
+
+    def _load(self, checkpoint: Checkpoint) -> None:
+        checkpoint.apply_to(self.model)
+        self.model.eval()
+        self.served_version = checkpoint.version

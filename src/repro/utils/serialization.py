@@ -4,19 +4,97 @@ The original system checkpoints model weights so long runs can resume after a
 learning-rate change or a failure.  Checkpoints here hold the parameters and
 buffers of a module (plus arbitrary scalar metadata such as the epoch and the
 SMA restart count) in NumPy's portable ``.npz`` format.
+
+Two layers of API:
+
+* :func:`save_arrays` / :func:`load_arrays` — raw named-array archives with a
+  JSON metadata side channel; the :class:`~repro.serve.checkpoint.CheckpointStore`
+  spills evicted central-model snapshots through these.
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the module-level
+  convenience wrappers that serialise a :class:`~repro.nn.module.Module`'s
+  ``state_dict``.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.errors import CheckpointError
 from repro.nn.module import Module
 
 _METADATA_KEY = "__metadata_json__"
+
+
+def npz_path(path: Union[str, Path]) -> Path:
+    """The path NumPy actually writes for ``np.savez(path)``.
+
+    Mirrors NumPy's rule exactly — append ``.npz`` iff the path does not
+    already end with it — instead of reconstructing the name from
+    ``Path.suffix``, which diverges for multi-suffix names (``ckpt.tmp``)
+    and names without a stem (a file literally called ``.npz``, whose
+    ``suffix`` is empty even though NumPy appends nothing).
+    """
+    path = Path(path)
+    return path if str(path).endswith(".npz") else Path(str(path) + ".npz")
+
+
+def save_arrays(
+    path: Union[str, Path],
+    arrays: Dict[str, np.ndarray],
+    metadata: Optional[Dict[str, float]] = None,
+) -> Path:
+    """Write named arrays plus a JSON metadata blob to ``path`` (.npz).
+
+    Returns the path of the file NumPy wrote (always ``*.npz``), creating
+    parent directories as needed.
+    """
+    if _METADATA_KEY in arrays:
+        raise CheckpointError(f"array name {_METADATA_KEY!r} is reserved for metadata")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(metadata or {})
+    blob = np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays, **{_METADATA_KEY: blob})
+    return npz_path(path)
+
+
+def load_arrays(
+    path: Union[str, Path],
+    required_metadata: Iterable[str] = (),
+) -> Tuple[Dict[str, np.ndarray], Dict[str, float]]:
+    """Load an archive written by :func:`save_arrays`.
+
+    Returns ``(arrays, metadata)``.  A bare path saved without the ``.npz``
+    suffix resolves to the file NumPy actually wrote.  Every key in
+    ``required_metadata`` must be present in the metadata dictionary, else a
+    :class:`~repro.errors.CheckpointError` names the missing keys — callers
+    never see a raw ``KeyError`` for a checkpoint written before a metadata
+    field existed.
+    """
+    path = Path(path)
+    if not path.exists():
+        normalised = npz_path(path)
+        if normalised.exists():
+            path = normalised
+        else:
+            raise CheckpointError(f"no checkpoint at {path} (nor {normalised})")
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    metadata_blob = arrays.pop(_METADATA_KEY, None)
+    metadata: Dict[str, float] = {}
+    if metadata_blob is not None:
+        metadata = json.loads(bytes(metadata_blob.tolist()).decode("utf-8"))
+    missing = [key for key in required_metadata if key not in metadata]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is missing metadata key(s) {missing}; "
+            f"present keys: {sorted(metadata)}"
+        )
+    return arrays, metadata
 
 
 def save_checkpoint(
@@ -24,31 +102,26 @@ def save_checkpoint(
     path: Union[str, Path],
     metadata: Optional[Dict[str, float]] = None,
 ) -> Path:
-    """Write the model's parameters, buffers and metadata to ``path`` (.npz)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    arrays = dict(model.state_dict())
-    payload = json.dumps(metadata or {})
-    arrays[_METADATA_KEY] = np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
-    np.savez(path, **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    """Write the model's parameters, buffers and metadata to ``path`` (.npz).
+
+    Returns the path of the file NumPy actually wrote (``.npz`` appended
+    unless already present, even for multi-suffix names like ``ckpt.tmp``).
+    """
+    return save_arrays(path, dict(model.state_dict()), metadata)
 
 
 def load_checkpoint(
-    model: Module, path: Union[str, Path]
+    model: Module,
+    path: Union[str, Path],
+    required_metadata: Iterable[str] = (),
 ) -> Tuple[Module, Dict[str, float]]:
     """Load a checkpoint written by :func:`save_checkpoint` into ``model``.
 
-    Returns the model (for chaining) and the metadata dictionary.
+    Returns the model (for chaining) and the metadata dictionary.  When
+    ``required_metadata`` names keys the archive's metadata must contain,
+    their absence raises :class:`~repro.errors.CheckpointError` instead of
+    surfacing as a ``KeyError`` at the call site.
     """
-    path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path, allow_pickle=False) as archive:
-        arrays = {name: archive[name] for name in archive.files}
-    metadata_blob = arrays.pop(_METADATA_KEY, None)
-    metadata: Dict[str, float] = {}
-    if metadata_blob is not None:
-        metadata = json.loads(bytes(metadata_blob.tolist()).decode("utf-8"))
+    arrays, metadata = load_arrays(path, required_metadata=required_metadata)
     model.load_state_dict(arrays)
     return model, metadata

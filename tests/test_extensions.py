@@ -120,6 +120,37 @@ class TestCheckpointing:
         second = train_steps(restored)
         np.testing.assert_allclose(first, second, atol=1e-5)
 
+    @pytest.mark.parametrize(
+        "name", ["ckpt", "ckpt.npz", "ckpt.tmp", "run.v1.tmp", ".npz"]
+    )
+    def test_returned_path_matches_written_file(self, tmp_path, name):
+        """save_checkpoint must return the exact file NumPy wrote, for any suffix."""
+        model = MLP(input_dim=4, num_classes=2, hidden_sizes=(3,), rng=rng)
+        returned = save_checkpoint(model, tmp_path / name, metadata={"epoch": 1})
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert written == [returned.name]
+        assert returned.exists()
+        # And the bare (pre-normalisation) path loads back transparently.
+        _, metadata = load_checkpoint(model, tmp_path / name)
+        assert metadata == {"epoch": 1}
+
+    def test_missing_metadata_key_raises_checkpoint_error(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        model = MLP(input_dim=4, num_classes=2, hidden_sizes=(3,), rng=rng)
+        path = save_checkpoint(model, tmp_path / "meta.npz", metadata={"epoch": 3})
+        _, metadata = load_checkpoint(model, path, required_metadata=("epoch",))
+        assert metadata["epoch"] == 3
+        with pytest.raises(CheckpointError, match="sma_restarts"):
+            load_checkpoint(model, path, required_metadata=("epoch", "sma_restarts"))
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        model = MLP(input_dim=4, num_classes=2, hidden_sizes=(3,), rng=rng)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(model, tmp_path / "absent.npz")
+
 
 class TestDataflowGraph:
     def test_trace_sequential_model(self):

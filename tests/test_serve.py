@@ -1,0 +1,492 @@
+"""Tests for the serving plane: checkpoint store, off-path evaluation, inference."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import CrossbowConfig, CrossbowTrainer, process_execution_supported
+from repro.errors import CheckpointError, ConfigurationError
+from repro.models import create_model
+from repro.serve import Checkpoint, CheckpointStore, EvaluationService, InferenceServer
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.rng import RandomState
+
+needs_fork = pytest.mark.skipif(
+    not process_execution_supported(), reason="requires the fork start method"
+)
+
+# Noisy blobs keep test accuracy off the 100% ceiling, so the bit-identical
+# comparisons below compare non-trivial floats rather than saturated 1.0s.
+_DATASET = {"num_train": 256, "num_test": 128, "noise_scale": 2.5}
+
+
+def _config(**overrides):
+    defaults = dict(
+        model_name="mlp",
+        dataset_name="blobs",
+        num_gpus=1,
+        batch_size=16,
+        replicas_per_gpu=2,
+        max_epochs=3,
+        dataset_overrides=dict(_DATASET),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return CrossbowConfig(**defaults)
+
+
+def _bn_model(rng=None):
+    return create_model("resnet32-scaled", rng=rng or RandomState(4))
+
+
+# ------------------------------------------------------------------------- checkpoints
+class TestCheckpoint:
+    def test_from_model_apply_to_round_trip_with_bn_buffers(self):
+        model = _bn_model()
+        buffers = dict(model.named_buffers())
+        next(iter(buffers.values()))[...] = 0.25
+        checkpoint = Checkpoint.from_model(model, epoch=3, iteration=17, sma_restarts=1)
+
+        fresh = _bn_model(RandomState(9))
+        assert not np.allclose(fresh.parameter_vector(), model.parameter_vector())
+        checkpoint.apply_to(fresh)
+        np.testing.assert_array_equal(fresh.parameter_vector(), model.parameter_vector())
+        for name, buf in fresh.named_buffers():
+            np.testing.assert_array_equal(buf, buffers[name])
+
+    def test_snapshot_is_a_private_copy(self):
+        model = _bn_model()
+        checkpoint = Checkpoint.from_model(model)
+        before = checkpoint.parameters.copy()
+        for param in model.parameters():
+            param.data[...] = -1.0
+        np.testing.assert_array_equal(checkpoint.parameters, before)
+
+    def test_apply_to_rejects_unknown_buffer(self):
+        model = create_model("mlp", rng=RandomState(1), input_dim=8, num_classes=2)
+        checkpoint = Checkpoint.from_model(model)
+        checkpoint.buffers["no.such.buffer"] = np.zeros(3, dtype=np.float32)
+        with pytest.raises(CheckpointError, match="no.such.buffer"):
+            checkpoint.apply_to(model.clone())
+
+    def test_archive_round_trip_preserves_metadata(self, tmp_path):
+        model = _bn_model()
+        checkpoint = Checkpoint.from_model(
+            model, epoch=5, iteration=80, sma_restarts=2, metadata={"lr": 0.05}
+        )
+        checkpoint.version = 11
+        from repro.utils.serialization import save_arrays
+
+        path = save_arrays(
+            tmp_path / "snap", checkpoint.to_arrays(), checkpoint.spill_metadata()
+        )
+        restored = Checkpoint.from_archive(path)
+        assert (restored.epoch, restored.iteration, restored.sma_restarts) == (5, 80, 2)
+        assert restored.version == 11
+        assert restored.metadata == {"lr": 0.05}
+        np.testing.assert_array_equal(restored.parameters, checkpoint.parameters)
+        assert set(restored.buffers) == set(checkpoint.buffers)
+
+
+class TestCheckpointStore:
+    def _checkpoint(self, value, p=6):
+        return Checkpoint(
+            parameters=np.full(p, float(value), dtype=np.float32), buffers={}, epoch=value
+        )
+
+    def test_publish_assigns_monotone_versions(self):
+        store = CheckpointStore(capacity=4)
+        versions = [store.publish(self._checkpoint(i)) for i in range(3)]
+        assert versions == [0, 1, 2]
+        assert store.latest_version() == 2
+        assert store.latest().epoch == 2
+        assert store.versions() == [0, 1, 2]
+
+    def test_ring_evicts_oldest(self):
+        store = CheckpointStore(capacity=2)
+        for i in range(5):
+            store.publish(self._checkpoint(i))
+        assert store.versions() == [3, 4]
+        assert len(store) == 2
+        with pytest.raises(CheckpointError, match="version 0"):
+            store.get(0)
+
+    def test_spill_and_reload(self, tmp_path):
+        store = CheckpointStore(capacity=1, spill_dir=tmp_path / "spill")
+        for i in range(3):
+            store.publish(self._checkpoint(i))
+        assert store.versions() == [2]
+        assert store.spilled_versions() == [0, 1]
+        reloaded = store.get(0)
+        assert reloaded.version == 0
+        assert reloaded.epoch == 0
+        np.testing.assert_array_equal(
+            reloaded.parameters, np.zeros(6, dtype=np.float32)
+        )
+        assert 1 in store and 2 in store and 7 not in store
+
+    def test_empty_store(self):
+        store = CheckpointStore(capacity=2)
+        assert store.latest() is None
+        assert store.latest_version() is None
+        with pytest.raises(CheckpointError):
+            store.get(0)
+        with pytest.raises(CheckpointError):
+            CheckpointStore(capacity=0)
+
+    def test_nbytes_bounded_by_capacity(self):
+        store = CheckpointStore(capacity=2)
+        for i in range(6):
+            store.publish(self._checkpoint(i, p=100))
+        assert store.nbytes() == 2 * 100 * 4
+
+
+# ------------------------------------------------------------------ trainer publishing
+class TestTrainerPublishing:
+    def test_publish_checkpoint_metadata_and_store(self):
+        trainer = CrossbowTrainer(_config(max_epochs=1))
+        store = trainer.attach_checkpoint_store(CheckpointStore(capacity=4))
+        trainer.train()
+        checkpoint = trainer.publish_checkpoint(epoch=0)
+        assert checkpoint.iteration == trainer._iteration
+        assert checkpoint.epoch == 0
+        assert checkpoint.version is not None
+        assert store.latest() is checkpoint
+        np.testing.assert_array_equal(
+            checkpoint.parameters, trainer.central_model_vector()
+        )
+
+    def test_train_publishes_at_eval_epochs_when_store_attached(self):
+        trainer = CrossbowTrainer(_config(max_epochs=3, evaluate_every_epochs=2))
+        store = trainer.attach_checkpoint_store(CheckpointStore(capacity=8))
+        trainer.train()
+        # eval epochs: 1 (periodic) and 2 (final) -> two published checkpoints
+        assert [store.get(v).epoch for v in store.versions()] == [1, 2]
+
+    def test_central_model_cached_between_steps(self):
+        trainer = CrossbowTrainer(_config(max_epochs=1))
+        trainer.train()
+        first = trainer.central_model()
+        assert trainer.central_model() is first  # no intervening step
+        trainer._train_epoch(1)  # any step invalidates
+        assert trainer.central_model() is not first
+
+    def test_evaluate_every_epochs_zero_skips_evaluation(self):
+        trainer = CrossbowTrainer(_config(max_epochs=2, evaluate_every_epochs=0))
+        result = trainer.train()
+        assert [r.test_accuracy for r in result.metrics.records] == [0.0, 0.0]
+
+
+# ------------------------------------------------------------------ evaluation service
+class TestEvaluationService:
+    def _run_inline(self, **overrides):
+        trainer = CrossbowTrainer(_config(**overrides))
+        try:
+            result = trainer.train()
+            return [r.test_accuracy for r in result.metrics.records]
+        finally:
+            trainer.close()
+
+    def _run_with_service(self, service_execution, **overrides):
+        trainer = CrossbowTrainer(_config(**overrides))
+        service = EvaluationService(execution=service_execution)
+        trainer.attach_evaluation_service(service)
+        try:
+            result = trainer.train()
+            assert not result.metrics.has_pending()
+            return [r.test_accuracy for r in result.metrics.records], service
+        finally:
+            service.close()
+            trainer.close()
+
+    def test_serial_drained_accuracies_match_inline(self):
+        inline = self._run_inline()
+        assert any(0.0 < acc < 1.0 for acc in inline)  # non-trivial comparison
+        deferred, service = self._run_with_service("serial")
+        assert deferred == inline
+        assert service.evaluations_completed == 3
+
+    def test_serial_matches_inline_with_sparse_eval_epochs(self):
+        overrides = dict(max_epochs=5, evaluate_every_epochs=2)
+        inline = self._run_inline(**overrides)
+        deferred, _ = self._run_with_service("serial", **overrides)
+        assert deferred == inline
+
+    @needs_fork
+    def test_process_drained_accuracies_match_inline(self):
+        inline = self._run_inline()
+        async_acc, service = self._run_with_service("process")
+        assert async_acc == inline
+
+    @needs_fork
+    def test_process_matches_inline_under_process_training(self):
+        """Both planes in worker processes: training learners and evaluation."""
+        inline = self._run_inline()
+        async_acc, _ = self._run_with_service("process", execution="process")
+        assert async_acc == inline
+
+    @needs_fork
+    def test_accuracies_resolve_before_drain_eventually(self):
+        trainer = CrossbowTrainer(_config(max_epochs=1))
+        service = EvaluationService(execution="process")
+        trainer.attach_evaluation_service(service)
+        try:
+            checkpoint = trainer.publish_checkpoint(epoch=0)
+            service.submit(checkpoint, epoch=0)
+            deadline = time.monotonic() + 60.0
+            while service.pending() and time.monotonic() < deadline:
+                service.poll()
+                time.sleep(0.01)
+            assert service.pending() == 0
+            assert service.accuracy_for_epoch(0) == trainer.evaluate()
+        finally:
+            service.close()
+            trainer.close()
+
+    def test_standalone_bind_and_drain(self):
+        trainer = CrossbowTrainer(_config(max_epochs=1))
+        trainer.train()
+        service = EvaluationService(execution="serial")
+        service.bind(trainer.initial_model, trainer.pipeline)
+        ticket = service.submit(trainer.publish_checkpoint(epoch=0), epoch=0)
+        resolved = service.drain()
+        assert resolved[ticket] == trainer.evaluate()
+        trainer.close()
+
+    def test_submit_requires_bind(self):
+        service = EvaluationService(execution="serial")
+        model = create_model("mlp", rng=RandomState(1), input_dim=8, num_classes=2)
+        with pytest.raises(ConfigurationError, match="bind"):
+            service.submit(Checkpoint.from_model(model))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationService(execution="threads")
+        with pytest.raises(ConfigurationError):
+            EvaluationService(num_slots=0)
+
+    @pytest.mark.parametrize("service_execution", ["serial", "process"])
+    def test_target_accuracy_early_stop_matches_inline(self, service_execution):
+        """A target turns eval epochs into drain barriers: same stop epoch as inline."""
+        if service_execution == "process" and not process_execution_supported():
+            pytest.skip("requires the fork start method")
+        # Easy blobs: the target is reached after the first epoch.
+        overrides = dict(
+            max_epochs=6,
+            target_accuracy=0.9,
+            dataset_overrides={"num_train": 256, "num_test": 128},
+        )
+        inline_trainer = CrossbowTrainer(_config(**overrides))
+        inline = inline_trainer.train()
+        inline_trainer.close()
+        assert inline.reached_target and len(inline.metrics.records) < 6
+
+        trainer = CrossbowTrainer(_config(**overrides))
+        service = EvaluationService(execution=service_execution)
+        trainer.attach_evaluation_service(service)
+        try:
+            result = trainer.train()
+            assert result.reached_target == inline.reached_target
+            assert len(result.metrics.records) == len(inline.metrics.records)
+            assert [r.test_accuracy for r in result.metrics.records] == [
+                r.test_accuracy for r in inline.metrics.records
+            ]
+        finally:
+            service.close()
+            trainer.close()
+
+    def test_pending_records_carry_nan_until_resolved(self):
+        """Serial mode: accuracies stay pending during training, resolve at drain."""
+        trainer = CrossbowTrainer(_config(max_epochs=2))
+        service = EvaluationService(execution="serial")
+        trainer.attach_evaluation_service(service)
+        # Drive the loop manually to observe the intermediate pending state.
+        trainer._apply_schedule(0)
+        trainer._train_epoch(0)
+        checkpoint = trainer.publish_checkpoint(epoch=0)
+        service.submit(checkpoint, epoch=0)
+        from repro.engine import EpochRecord
+
+        trainer.metrics.add(
+            EpochRecord(0, 0.0, float("nan"), 0.5, 256, 0.1, 2), pending_from=0
+        )
+        assert trainer.metrics.has_pending()
+        assert math.isnan(trainer.metrics.records[0].test_accuracy)
+        service.drain()
+        assert not trainer.metrics.has_pending()
+        assert trainer.metrics.records[0].test_accuracy == trainer.evaluate()
+        trainer.close()
+
+
+# ------------------------------------------------------------------- inference server
+class TestInferenceServer:
+    def _model(self):
+        return create_model(
+            "mlp", rng=RandomState(3), input_dim=32, num_classes=4, hidden_sizes=(16,)
+        )
+
+    def _images(self, n, rng_seed=0):
+        return RandomState(rng_seed).normal(size=(n, 1, 1, 32)).astype(np.float32)
+
+    def test_predictions_match_direct_forward(self):
+        model = self._model()
+        server = InferenceServer(model, max_batch_size=8, max_latency_ms=1.0)
+        images = self._images(4)
+        with server:
+            served = server.predict(images)
+        model.eval()
+        with no_grad():
+            direct = model(Tensor(images)).data
+        np.testing.assert_array_equal(served, direct)
+
+    def test_microbatching_coalesces_requests(self):
+        server = InferenceServer(self._model(), max_batch_size=64, max_latency_ms=50.0)
+        with server:
+            futures = [server.submit(self._images(1, i)) for i in range(16)]
+            results = [f.result(timeout=30.0) for f in futures]
+        assert all(r.shape == (1, 4) for r in results)
+        stats = server.stats.summary()
+        assert stats["requests"] == 16
+        # Coalescing must have packed multiple requests per forward pass.
+        assert stats["batches"] < 16
+        assert stats["mean_batch_size"] > 1.0
+        assert stats["p99_ms"] >= stats["p50_ms"]
+
+    def test_batch_size_one_disables_coalescing(self):
+        server = InferenceServer(self._model(), max_batch_size=1, max_latency_ms=50.0)
+        with server:
+            futures = [server.submit(self._images(1, i)) for i in range(6)]
+            [f.result(timeout=30.0) for f in futures]
+        assert server.stats.batches == 6
+
+    def test_hot_swap_to_newest_checkpoint(self):
+        model = self._model()
+        store = CheckpointStore(capacity=4)
+        store.publish(Checkpoint.from_model(model))
+        server = InferenceServer(model, store=store, max_batch_size=4, max_latency_ms=0.0)
+        images = self._images(2)
+        with server:
+            before = server.predict(images)
+            assert server.served_version == 0
+            # Publish an updated model; the next batch must serve the new weights.
+            updated = model.clone()
+            for param in updated.parameters():
+                param.data[...] += 1.0
+            store.publish(Checkpoint.from_model(updated))
+            after = server.predict(images)
+            assert server.served_version == 1
+        assert not np.array_equal(before, after)
+        assert server.stats.hot_swaps >= 1
+        updated.eval()
+        with no_grad():
+            expected = updated(Tensor(images)).data
+        np.testing.assert_array_equal(after, expected)
+
+    def test_multi_sample_requests_respect_max_batch_size(self):
+        """A request that would overflow the cap starts the next batch instead."""
+        server = InferenceServer(self._model(), max_batch_size=4, max_latency_ms=100.0)
+        with server:
+            futures = [server.submit(self._images(3, i)) for i in range(5)]
+            [f.result(timeout=30.0) for f in futures]
+        # 3+3 > 4, so no two requests may share a forward pass.
+        assert server.stats.batches == 5
+        assert server.stats.samples == 15
+
+    def test_oversize_single_request_is_served_alone(self):
+        server = InferenceServer(self._model(), max_batch_size=2, max_latency_ms=1.0)
+        with server:
+            result = server.predict(self._images(5))
+        assert result.shape == (5, 4)
+        assert server.stats.batches == 1
+
+    def test_submit_requires_running_server_and_valid_shape(self):
+        server = InferenceServer(self._model())
+        with pytest.raises(ConfigurationError, match="start"):
+            server.submit(self._images(1))
+        with server:
+            with pytest.raises(ConfigurationError, match="sample arrays"):
+                server.submit(np.zeros(32, dtype=np.float32))
+
+    def test_forward_failure_fails_the_future_not_the_loop(self):
+        server = InferenceServer(self._model(), max_batch_size=1)
+        with server:
+            bad = server.submit(np.zeros((1, 1, 1, 7), dtype=np.float32))  # wrong width
+            with pytest.raises(Exception):
+                bad.result(timeout=30.0)
+            good = server.predict(self._images(1))  # loop survived
+        assert good.shape == (1, 4)
+
+    def test_stop_fails_queued_requests(self):
+        from concurrent.futures import Future
+
+        from repro.serve.inference import _Request
+
+        server = InferenceServer(self._model())
+        server.start()
+        # Freeze the loop first, then sneak in a request it will never serve;
+        # stop() must fail the future instead of leaving it hanging.
+        server._stop.set()
+        server._thread.join(timeout=10.0)
+        future: Future = Future()
+        server._queue.put(_Request(images=self._images(1), future=future, enqueued_at=0.0))
+        server.stop()
+        with pytest.raises(ConfigurationError, match="stopped"):
+            future.result(timeout=5.0)
+        with pytest.raises(ConfigurationError, match="start"):
+            server.submit(self._images(1))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InferenceServer(self._model(), max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            InferenceServer(self._model(), max_latency_ms=-1.0)
+
+
+# --------------------------------------------------------- end-to-end: train and serve
+class TestTrainThenServe:
+    def test_training_run_feeds_inference_server(self):
+        trainer = CrossbowTrainer(_config(max_epochs=2))
+        store = trainer.attach_checkpoint_store(CheckpointStore(capacity=4))
+        trainer.train()
+        server = InferenceServer(
+            trainer.initial_model, store=store, max_batch_size=16, max_latency_ms=1.0
+        )
+        images = trainer.dataset.test_images[:8]
+        with server:
+            logits = server.predict(images)
+        assert server.served_version == store.latest_version()
+        central = trainer.central_model()
+        central.eval()
+        with no_grad():
+            expected = central(Tensor(images)).data
+        np.testing.assert_array_equal(logits, expected)
+        trainer.close()
+
+    @needs_fork
+    def test_bn_model_checkpoint_determinism_process(self):
+        """BN buffers ride the checkpoint: off-path eval matches inline on a CNN."""
+        overrides = dict(
+            model_name="resnet32-scaled",
+            dataset_name="cifar10-scaled",
+            dataset_overrides={"num_train": 64, "num_test": 32},
+            batch_size=8,
+            max_epochs=1,
+        )
+        inline_trainer = CrossbowTrainer(_config(**overrides))
+        inline = inline_trainer.train()
+        inline_acc = [r.test_accuracy for r in inline.metrics.records]
+        inline_trainer.close()
+
+        trainer = CrossbowTrainer(_config(**overrides))
+        service = EvaluationService(execution="process")
+        trainer.attach_evaluation_service(service)
+        try:
+            result = trainer.train()
+            assert [r.test_accuracy for r in result.metrics.records] == inline_acc
+        finally:
+            service.close()
+            trainer.close()
