@@ -14,7 +14,13 @@ from repro.experiments import run_ablation_scheduler
 def test_ablation_scheduler_policy(benchmark, report):
     rows = benchmark.pedantic(
         run_ablation_scheduler,
-        kwargs={"model": "lenet", "num_gpus": 1, "replicas_per_gpu": 2, "batch_size": 4, "iterations": 300},
+        kwargs={
+            "model": "lenet",
+            "num_gpus": 1,
+            "replicas_per_gpu": 2,
+            "batch_size": 4,
+            "iterations": 300,
+        },
         rounds=1,
         iterations=1,
     )

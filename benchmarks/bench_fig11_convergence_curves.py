@@ -25,6 +25,8 @@ def test_fig11_convergence_curves(benchmark, report):
     # target within their first epoch legitimately produce a single point).
     for system in systems:
         for gpus in (1, 8):
-            times = [r["time_seconds"] for r in rows if r["system"] == system and r["gpus"] == gpus]
+            times = [
+                r["time_seconds"] for r in rows if r["system"] == system and r["gpus"] == gpus
+            ]
             assert len(times) >= 1
             assert times == sorted(times)

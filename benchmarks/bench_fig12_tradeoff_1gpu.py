@@ -22,7 +22,10 @@ def test_fig12_tradeoff_one_gpu(benchmark, report):
 
     by_system = {row["system"]: row for row in rows}
     # Hardware efficiency: more learners per GPU means higher throughput.
-    assert by_system["crossbow-m4"]["throughput_img_s"] > by_system["crossbow-m1"]["throughput_img_s"]
+    assert (
+        by_system["crossbow-m4"]["throughput_img_s"]
+        > by_system["crossbow-m1"]["throughput_img_s"]
+    )
     # TTA with m>1 should be no worse than with m=1 when both reached the target.
     m1, m4 = by_system["crossbow-m1"]["tta_seconds"], by_system["crossbow-m4"]["tta_seconds"]
     if m1 is not None and m4 is not None:

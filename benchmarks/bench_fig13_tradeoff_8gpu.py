@@ -22,7 +22,10 @@ def test_fig13_tradeoff_eight_gpus(benchmark, report):
 
     by_system = {row["system"]: row for row in rows}
     # m=2 should improve throughput over m=1.
-    assert by_system["crossbow-m2"]["throughput_img_s"] > by_system["crossbow-m1"]["throughput_img_s"]
+    assert (
+        by_system["crossbow-m2"]["throughput_img_s"]
+        > by_system["crossbow-m1"]["throughput_img_s"]
+    )
     # Statistical efficiency degrades once 8 GPUs x 4 learners = 32 replicas
     # share the averaging process: within the same epoch budget the m=4
     # configuration ends up with a worse model than m=2 (the paper's reason why

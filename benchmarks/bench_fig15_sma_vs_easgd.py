@@ -14,7 +14,12 @@ from repro.experiments import run_fig15_sma_vs_easgd
 def test_fig15_sma_vs_easgd(benchmark, report):
     rows = benchmark.pedantic(
         run_fig15_sma_vs_easgd,
-        kwargs={"model": "resnet32", "gpu_counts": (1, 8), "replicas_per_gpu": 2, "max_epochs": 10},
+        kwargs={
+            "model": "resnet32",
+            "gpu_counts": (1, 8),
+            "replicas_per_gpu": 2,
+            "max_epochs": 10,
+        },
         rounds=1,
         iterations=1,
     )

@@ -276,6 +276,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     rows = _microbatching_rows(requests_per_client)
     for row in rows:
         print(row)
+    # Standalone runs bypass the pytest report fixture; record the summary
+    # directly so the CI serving job still uploads a BENCH_summary.json.
+    from pathlib import Path
+
+    from repro.experiments import record_bench_summary
+
+    record_bench_summary(
+        Path(__file__).parent / "results" / "BENCH_summary.json",
+        "serving_microbatching_smoke" if args.smoke else "serving_microbatching_cli",
+        rows,
+    )
     baseline, micro = rows
     if micro["mean_batch_size"] <= 1.0:
         print("FAIL: micro-batching never coalesced requests", file=sys.stderr)

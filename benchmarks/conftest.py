@@ -1,21 +1,24 @@
 """Shared fixtures for the benchmark harness.
 
 Every benchmark regenerates one table or figure from the paper's evaluation
-(§5).  The rows are printed (run pytest with ``-s`` to see them) and persisted
+(§5).  The rows are printed (run pytest with ``-s`` to see them), persisted
 as CSV under ``benchmarks/results/`` so they can be compared against the paper
-in EXPERIMENTS.md.
+in EXPERIMENTS.md, and merged into ``benchmarks/results/BENCH_summary.json``
+— the machine-readable per-commit performance record the CI jobs upload as an
+artifact (via :func:`repro.experiments.record_bench_summary`).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 import pytest
 
-from repro.experiments import format_table, save_rows
+from repro.experiments import format_table, record_bench_summary, save_rows
 
 RESULTS_DIR = Path(__file__).parent / "results"
+SUMMARY_PATH = RESULTS_DIR / "BENCH_summary.json"
 
 
 @pytest.fixture(scope="session")
@@ -26,12 +29,13 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def report(results_dir) -> Callable[[str, Sequence[Dict[str, object]]], None]:
-    """Print a figure's rows and persist them as CSV."""
+    """Print a figure's rows; persist them as CSV and into the JSON summary."""
 
     def _report(name: str, rows: Sequence[Dict[str, object]]) -> None:
         rows = list(rows)
         print(f"\n=== {name} ===")
         print(format_table(rows))
         save_rows(rows, results_dir / f"{name}.csv")
+        record_bench_summary(SUMMARY_PATH, name, rows)
 
     return _report

@@ -33,7 +33,9 @@ def quadratic_race(num_replicas: int = 4, steps: int = 60) -> None:
         for _ in range(steps):
             corrections = []
             for j in range(num_replicas):
-                gradient = (replicas[j] - target) + stream.normal(scale=0.3, size=8).astype(np.float32)
+                gradient = (replicas[j] - target) + stream.normal(scale=0.3, size=8).astype(
+                    np.float32
+                )
                 correction = synchroniser.correction(replicas[j])
                 replicas[j] = replicas[j] - 0.05 * gradient - correction
                 corrections.append(correction)
@@ -41,7 +43,9 @@ def quadratic_race(num_replicas: int = 4, steps: int = 60) -> None:
         rows.append(
             {
                 "algorithm": name,
-                "distance_to_optimum": round(float(np.linalg.norm(synchroniser.center - target)), 4),
+                "distance_to_optimum": round(
+                    float(np.linalg.norm(synchroniser.center - target)), 4
+                ),
                 "replica_divergence": round(synchroniser.divergence(replicas), 4),
             }
         )

@@ -7,7 +7,7 @@ horizontal flip, per-channel normalisation) operating on NCHW NumPy batches.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +30,9 @@ def normalize(
     return (images - mean_arr) / std_arr
 
 
-def random_horizontal_flip(images: np.ndarray, rng: RandomState, probability: float = 0.5) -> np.ndarray:
+def random_horizontal_flip(
+    images: np.ndarray, rng: RandomState, probability: float = 0.5
+) -> np.ndarray:
     """Flip each image left-right with the given probability."""
     flips = rng.uniform(size=images.shape[0]) < probability
     out = images.copy()

@@ -12,7 +12,7 @@ SMA iteration — the pipeline enforces this invariant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 import numpy as np
@@ -112,7 +112,9 @@ class DataPreProcessor:
             )
         self.dataset = dataset
         self.batch_size = batch_size
-        self.augmentation = augmentation if augmentation is not None else AugmentationPipeline.identity()
+        self.augmentation = (
+            augmentation if augmentation is not None else AugmentationPipeline.identity()
+        )
         self.rng = rng if rng is not None else RandomState(0, name="preprocessor")
         self.drop_last = drop_last
         self._epoch = 0
@@ -244,4 +246,6 @@ class BatchPipeline:
         labels = self.dataset.test_labels
         for index, start in enumerate(range(0, images.shape[0], batch_size)):
             stop = min(start + batch_size, images.shape[0])
-            yield Batch(images=images[start:stop], labels=labels[start:stop], index=index, epoch=-1)
+            yield Batch(
+                images=images[start:stop], labels=labels[start:stop], index=index, epoch=-1
+            )

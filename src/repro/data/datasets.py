@@ -69,7 +69,9 @@ class Dataset:
         )
 
 
-def _smooth_random_image(rng: RandomState, channels: int, size: int, smoothness: int = 3) -> np.ndarray:
+def _smooth_random_image(
+    rng: RandomState, channels: int, size: int, smoothness: int = 3
+) -> np.ndarray:
     """Generate a smooth random image by upsampling low-resolution noise."""
     low = max(2, size // smoothness)
     coarse = rng.normal(size=(channels, low, low))
@@ -106,13 +108,18 @@ class SyntheticImageDataset(Dataset):
     ) -> None:
         rng = RandomState(seed, name=f"dataset/{name}")
         prototypes = np.stack(
-            [_smooth_random_image(rng.child(f"class{c}"), channels, image_size) for c in range(num_classes)]
+            [
+                _smooth_random_image(rng.child(f"class{c}"), channels, image_size)
+                for c in range(num_classes)
+            ]
         )
         prototypes *= signal_scale
 
         def _generate(count: int, stream: RandomState) -> Tuple[np.ndarray, np.ndarray]:
             labels = stream.integers(0, num_classes, size=count).astype(np.int64)
-            noise = stream.normal(scale=noise_scale, size=(count, channels, image_size, image_size))
+            noise = stream.normal(
+                scale=noise_scale, size=(count, channels, image_size, image_size)
+            )
             images = prototypes[labels] + noise.astype(np.float32)
             # Per-sample brightness jitter, so samples of a class are not mere
             # translations of each other.
@@ -172,12 +179,16 @@ def _cifar10_scaled(num_train: int = 2048, num_test: int = 512, seed: int = 22, 
 
 @DATASET_REGISTRY.register("cifar100-scaled")
 def _cifar100_scaled(num_train: int = 2048, num_test: int = 512, seed: int = 23, **kw):
-    return SyntheticImageDataset("cifar100-scaled", 10, 3, 16, num_train, num_test, seed=seed, **kw)
+    return SyntheticImageDataset(
+        "cifar100-scaled", 10, 3, 16, num_train, num_test, seed=seed, **kw
+    )
 
 
 @DATASET_REGISTRY.register("imagenet-scaled")
 def _imagenet_scaled(num_train: int = 2048, num_test: int = 512, seed: int = 24, **kw):
-    return SyntheticImageDataset("imagenet-scaled", 10, 3, 16, num_train, num_test, seed=seed, **kw)
+    return SyntheticImageDataset(
+        "imagenet-scaled", 10, 3, 16, num_train, num_test, seed=seed, **kw
+    )
 
 
 @DATASET_REGISTRY.register("blobs")
@@ -195,9 +206,9 @@ def _blobs(
 
     def _make(count: int, stream: RandomState):
         labels = stream.integers(0, num_classes, size=count).astype(np.int64)
-        points = centers[labels] + stream.normal(scale=noise_scale, size=(count, input_dim)).astype(
-            np.float32
-        )
+        points = centers[labels] + stream.normal(
+            scale=noise_scale, size=(count, input_dim)
+        ).astype(np.float32)
         return points.reshape(count, 1, 1, input_dim).astype(np.float32), labels
 
     train_images, train_labels = _make(num_train, rng.child("train"))

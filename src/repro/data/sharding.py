@@ -164,6 +164,35 @@ class ShardedBatchStream:
         self._buffer.clear()
         self.prefetch()
 
+    def reconfigure(
+        self,
+        shard_index: int,
+        num_shards: int,
+        augmentation: Optional[AugmentationPipeline] = None,
+    ) -> "ShardedBatchStream":
+        """Re-stride this stream in place for a new shard assignment.
+
+        Used by the persistent worker pool: an auto-tuner resize changes the
+        worker's shard id and the stride without tearing the worker down, so
+        the stream it already owns is re-pointed instead of being replaced.
+        Dataset, batch size and prefetch depth are kept; the augmentation
+        stream is kept too unless a replacement is given.  Any prefetched
+        batches are discarded — the caller must follow up with
+        :meth:`start_epoch` before streaming again.
+        """
+        if num_shards < 1:
+            raise DataError("need at least one shard")
+        if not 0 <= shard_index < num_shards:
+            raise DataError(f"shard index {shard_index} not in [0, {num_shards})")
+        self.shard_index = shard_index
+        self.num_shards = num_shards
+        if augmentation is not None:
+            self.augmentation = augmentation
+        self._order = None
+        self._position = 0
+        self._buffer.clear()
+        return self
+
     def remaining(self) -> int:
         """Batches this shard can still produce in the current epoch."""
         if self._order is None:
@@ -283,6 +312,17 @@ class ShardedBatchPipeline:
     @property
     def num_shards(self) -> int:
         return len(self.streams)
+
+    @property
+    def has_augmentation(self) -> bool:
+        """Whether shard streams carry (worker-local) augmentation state.
+
+        The persistent worker pool only re-shards in place when this is
+        false: augmentation streams advance inside the workers, and the
+        documented resize semantics regenerate them from fresh parent-side
+        randomness, which requires a respawn.
+        """
+        return self._augmentation_factory is not None
 
     @property
     def batches_per_epoch(self) -> int:

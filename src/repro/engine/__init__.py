@@ -13,7 +13,7 @@ hiding the synchronisation cost behind learning tasks.
   bookkeeping with the paper's median-of-last-five-epochs rule.
 """
 
-from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
+from repro.engine.metrics import EpochRecord, SyncCounters, TrainingMetrics, TrainingResult
 from repro.engine.replica import ModelReplica, ReplicaBank, ReplicaPool
 from repro.engine.learner import Learner
 from repro.engine.tasks import GlobalSyncTask, LearningTask, LocalSyncTask, TaskKind
@@ -42,6 +42,7 @@ from repro.engine.baseline import SSGDTrainer
 
 __all__ = [
     "EpochRecord",
+    "SyncCounters",
     "TrainingMetrics",
     "TrainingResult",
     "ModelReplica",

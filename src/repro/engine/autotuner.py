@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 
 class AutoTunerDecision(str, enum.Enum):
@@ -89,6 +89,21 @@ class AutoTuner:
         self._last_decision = decision
         self.history.append(decision)
         return decision
+
+    @property
+    def grow_count(self) -> int:
+        """Resizes that added a learner per GPU (pool re-shard + fork cost)."""
+        return sum(1 for d in self.history if d is AutoTunerDecision.ADD_LEARNER)
+
+    @property
+    def shrink_count(self) -> int:
+        """Resizes that removed a learner per GPU."""
+        return sum(1 for d in self.history if d is AutoTunerDecision.REMOVE_LEARNER)
+
+    @property
+    def resize_count(self) -> int:
+        """Total resizes applied — each one costs a pool re-shard (or respawn)."""
+        return self.grow_count + self.shrink_count
 
     def converged(self, stable_observations: int = 3) -> bool:
         """True once the last ``stable_observations`` decisions were all KEEP."""

@@ -66,10 +66,32 @@ class CrossbowConfig(TrainerConfig):
       (:mod:`repro.engine.executor`).  Requires the POSIX ``fork`` start
       method.  With augmentation disabled, fixed-seed runs are
       bit-compatible with ``"serial"``.
+
+    ``pipeline_depth`` (process mode only) selects the synchronisation
+    schedule:
+
+    * ``0`` (default) — synchronous: the parent applies the fused
+      ``step_matrix`` while every worker idles; bit-identical to the PR-2
+      executor (and, with augmentation disabled, to ``"serial"``).
+    * ``1`` — pipelined: workers begin iteration ``t+1``'s forward/backward
+      against a published double-buffered weight view while the parent
+      applies iteration ``t``'s fused update into the back buffer, then
+      flips.  Gradients are computed on weights that lag the newest central
+      update by at most one iteration (the explicit staleness bound), so the
+      numeric trajectory differs from depth 0 while the synchronisation cost
+      disappears from the critical path.
+
+    ``persistent_pool`` keeps the worker pool alive across auto-tuner
+    resizes: grow/shrink re-shards the surviving workers in place and forks
+    only newly added learners.  Disable to force the PR-2
+    stop-everything-and-respawn behaviour (the fallback also used when a
+    resize changes the shared buffers themselves or augmentation is on).
     """
 
     replicas_per_gpu: int = 1
     execution: str = "serial"  # "serial" or "process"
+    pipeline_depth: int = 0  # 0 = synchronous, 1 = overlap sync with next gradients
+    persistent_pool: bool = True
     auto_tune: bool = False
     auto_tune_interval: int = 16  # iterations between throughput observations
     auto_tune_tolerance: float = 0.05
@@ -90,6 +112,15 @@ class CrossbowConfig(TrainerConfig):
             raise ConfigurationError("synchronisation must be 'sma', 'easgd' or 'none'")
         if self.execution not in ("serial", "process"):
             raise ConfigurationError("execution must be 'serial' or 'process'")
+        if self.pipeline_depth not in (0, 1):
+            raise ConfigurationError(
+                "pipeline_depth must be 0 (synchronous) or 1 (one overlapped iteration)"
+            )
+        if self.pipeline_depth == 1 and self.execution != "process":
+            raise ConfigurationError(
+                "pipeline_depth=1 overlaps the fused synchronisation with worker "
+                "gradient computation and therefore requires execution='process'"
+            )
         if self.synchronisation_period < 1:
             raise ConfigurationError("synchronisation period τ must be >= 1")
 

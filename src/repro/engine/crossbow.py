@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -27,7 +28,7 @@ from repro.engine.autotuner import AutoTuner, AutoTunerDecision
 from repro.engine.config import CrossbowConfig
 from repro.engine.executor import ProcessExecutor, SharedMatrix, SharedReplicaBank
 from repro.engine.learner import Learner
-from repro.engine.metrics import EpochRecord, TrainingMetrics, TrainingResult
+from repro.engine.metrics import EpochRecord, SyncCounters, TrainingMetrics, TrainingResult
 from repro.engine.replica import ModelReplica, ReplicaBank, ReplicaPool
 from repro.engine.scheduler import SchedulingPolicy, TaskScheduler
 from repro.engine.task_manager import TaskManager
@@ -44,6 +45,23 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState
 
 logger = get_logger("engine.crossbow")
+
+
+@dataclass
+class _PendingIteration:
+    """One collected-but-unapplied pipelined iteration (``pipeline_depth=1``).
+
+    The workers have already written this iteration's raw gradients into
+    update buffer ``update_index``; the parent applies the fused
+    synchronisation step lazily — overlapped with the *next* iteration's
+    gradient computation — or at a flush barrier (epoch end, resize,
+    evaluation, close).
+    """
+
+    losses: np.ndarray
+    replicas: List["ModelReplica"]
+    update_index: int
+    staleness: int
 
 
 class CrossbowTrainer:
@@ -148,12 +166,29 @@ class CrossbowTrainer:
         )
         # In process mode both the bank and the gradient matrix live in shared
         # memory: workers read weights and write gradients with zero copies.
+        # pipeline_depth=1 adds a second gradient matrix (iteration t+1's
+        # gradients must not race iteration t's fused update) and a shadow
+        # weight buffer — the back buffer of the publish/flip protocol.
         self._executor: Optional[ProcessExecutor] = None
-        self._update_shared: Optional[SharedMatrix] = None
+        self._shared_segments: List[SharedMatrix] = []
+        self._update_matrix_b: Optional[np.ndarray] = None
+        self._shadow_matrix: Optional[np.ndarray] = None
+        #: which weight buffer holds the newest published weights (0 = bank,
+        #: 1 = shadow); always 0 outside a pipelined epoch's steady state
+        self._published_index = 0
+        self._next_update_index = 0
+        self._pending: Optional[_PendingIteration] = None
         if config.execution == "process":
             self.replica_bank = SharedReplicaBank(num_parameters, capacity=max_learners)
-            self._update_shared = SharedMatrix(max_learners, num_parameters)
-            self._update_matrix = self._update_shared.array
+            update = SharedMatrix(max_learners, num_parameters)
+            self._shared_segments.append(update)
+            self._update_matrix = update.array
+            if config.pipeline_depth == 1:
+                update_b = SharedMatrix(max_learners, num_parameters)
+                shadow = SharedMatrix(max_learners, num_parameters)
+                self._shared_segments.extend([update_b, shadow])
+                self._update_matrix_b = update_b.array
+                self._shadow_matrix = shadow.array
             shard_pipeline = ShardedBatchPipeline(
                 self.dataset,
                 batch_size=config.batch_size,
@@ -169,7 +204,8 @@ class CrossbowTrainer:
                     else None
                 ),
             )
-            self._executor = ProcessExecutor(shard_pipeline)
+            self._executor = ProcessExecutor(shard_pipeline, persistent=config.persistent_pool)
+            self._bind_executor_buffers()
         else:
             self.replica_bank = ReplicaBank(num_parameters, capacity=max_learners)
             self._update_matrix = np.zeros((max_learners, num_parameters), dtype=np.float32)
@@ -195,6 +231,7 @@ class CrossbowTrainer:
         )
 
         self.metrics = TrainingMetrics()
+        self.sync_counters = SyncCounters()
         self._iteration = 0
         self._last_lr = self.schedule.rate(0.0)
         self._accuracy_before_lr_change: Optional[float] = None
@@ -286,7 +323,9 @@ class CrossbowTrainer:
                     self.publish_checkpoint(epoch=epoch)
                 test_accuracy = self.evaluate()
             else:
-                test_accuracy = self.metrics.records[-1].test_accuracy if self.metrics.records else 0.0
+                test_accuracy = (
+                    self.metrics.records[-1].test_accuracy if self.metrics.records else 0.0
+                )
                 if math.isnan(test_accuracy):
                     # Carrying forward a still-pending accuracy: register under
                     # the same source epoch so one resolution covers the chain.
@@ -338,12 +377,24 @@ class CrossbowTrainer:
             extra={
                 "total_learners": len(self.learners),
                 "sma_restarts": getattr(self.synchroniser, "restarts", 0),
+                "autotuner_resizes": self.autotuner.resize_count,
+                **self.sync_counters.as_dict(),
+                **(
+                    {
+                        "pool_respawns": self._executor.respawns,
+                        "pool_resizes_in_place": self._executor.resizes_in_place,
+                    }
+                    if self._executor is not None
+                    else {}
+                ),
             },
         )
 
     def _train_epoch(self, epoch: int) -> float:
         """One pass over the training data; returns the mean training loss."""
         if self._executor is not None:
+            if self.config.pipeline_depth == 1:
+                return self._train_epoch_pipelined(epoch)
             return self._train_epoch_process(epoch)
         losses: List[float] = []
         batch_iter = self.pipeline.epoch_batches(epoch)
@@ -380,6 +431,123 @@ class CrossbowTrainer:
             losses.append(self._run_iteration_process())
             self._maybe_autotune()
         return float(np.mean(losses)) if losses else float("nan")
+
+    def _train_epoch_pipelined(self, epoch: int) -> float:
+        """One epoch under ``pipeline_depth=1``: sync overlaps the next gradients.
+
+        The software pipeline per iteration ``t`` (steady state):
+
+        1. *Issue* step ``t`` — workers read the published weight buffer
+           (which still holds the weights of iteration ``t-1``: staleness 1)
+           and write raw gradients into the update buffer that is *not* being
+           consumed by the parent.
+        2. *Apply* the pending iteration ``t-1`` — the parent runs the fused
+           ``step_matrix`` **into the back buffer** while the workers compute,
+           then publishes it with a buffer flip.
+        3. *Collect* step ``t``'s losses; it becomes the new pending
+           iteration.
+
+        The first iteration after an epoch start (or a resize) has no pending
+        update, so its gradients are computed on fresh weights; the epoch end
+        flushes the last pending update and copies the published buffer back
+        into the bank, so every quiescent boundary (evaluation, checkpoint,
+        resize, close) observes the bank as the single source of truth —
+        exactly like depth 0.
+        """
+        executor = self._executor
+        assert executor is not None
+        losses_out: List[float] = []
+        executor.begin_epoch(epoch)
+        while executor.batches_remaining() >= len(self.learners):
+            update_index = self._next_update_index
+            staleness = 1 if self._pending is not None else 0
+            executor.issue_step(self.learners, self._published_index, update_index)
+            self._next_update_index = 1 - update_index
+            if self._pending is not None:
+                # The serial section of iteration t-1, hidden behind the
+                # workers' gradient computation of iteration t.
+                self._apply_pending(overlapped=True)
+            losses = executor.collect_step()
+            for index, learner in enumerate(self.learners):
+                learner.replica.iterations_processed += 1
+                learner.batches_processed += 1
+                learner.last_loss = float(losses[index])
+            self._pending = _PendingIteration(
+                losses=losses,
+                replicas=[learner.replica for learner in self.learners],
+                update_index=update_index,
+                staleness=staleness,
+            )
+            losses_out.append(float(np.mean(losses)))
+            self._maybe_autotune()
+        self._flush_pipeline()
+        return float(np.mean(losses_out)) if losses_out else float("nan")
+
+    def _weight_buffer(self, index: int) -> np.ndarray:
+        """Full-capacity weight buffer ``index`` (0 = the bank, 1 = the shadow)."""
+        if index == 0:
+            return self.replica_bank.storage
+        assert self._shadow_matrix is not None
+        return self._shadow_matrix
+
+    def _update_buffer(self, index: int) -> np.ndarray:
+        """Full-capacity gradient buffer ``index``."""
+        if index == 0:
+            return self._update_matrix
+        assert self._update_matrix_b is not None
+        return self._update_matrix_b
+
+    def _apply_pending(self, overlapped: bool) -> None:
+        """Apply the pending pipelined iteration's fused update and flip buffers."""
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        k = len(pending.replicas)
+        front = self._weight_buffer(self._published_index)[:k]
+        back_index = 1 - self._published_index
+        out = self._weight_buffer(back_index)[:k]
+        updates = self._update_buffer(pending.update_index)[:k]
+        synchronise = self.synchroniser.should_synchronise()
+        self._finish_iteration(
+            front,
+            updates,
+            pending.losses,
+            pending.replicas,
+            synchronise,
+            out=out,
+            overlapped=overlapped,
+            staleness=pending.staleness,
+        )
+        # Publish: the back buffer now holds the newest weights; the next
+        # issued step addresses it and the old front becomes scratch.
+        self._published_index = back_index
+
+    def _flush_pipeline(self) -> None:
+        """Barrier: apply any pending update and republish the bank (buffer 0).
+
+        After this, the replica bank again holds the canonical weights (row
+        ``j`` *is* learner ``j``'s replica) and no step is in flight — the
+        quiescent state every consumer outside the pipelined loop assumes
+        (evaluation, checkpointing, auto-tuner resizes, tests inspecting
+        ``replica_bank.active_matrix()``).  No-op outside pipelined epochs.
+        """
+        if self._pending is not None:
+            # Epoch-boundary (or barrier) application: nothing overlaps it.
+            self._apply_pending(overlapped=False)
+        if self._published_index != 0:
+            k = len(self.learners)
+            np.copyto(self.replica_bank.storage[:k], self._weight_buffer(1)[:k])
+            self._published_index = 0
+
+    def _bind_executor_buffers(self) -> None:
+        """Register the current shared weight/update buffers with the executor."""
+        assert self._executor is not None
+        extra = [] if self._shadow_matrix is None else [self._shadow_matrix]
+        updates = [self._update_matrix]
+        if self._update_matrix_b is not None:
+            updates.append(self._update_matrix_b)
+        self._executor.bind_buffers(self.replica_bank, extra, updates)
 
     def _run_iteration(self, batches: List[Batch]) -> float:
         """Execute one SMA iteration: k learning tasks + synchronisation tasks."""
@@ -422,7 +590,7 @@ class CrossbowTrainer:
         k = len(self.learners)
         weights = self.replica_bank.active_matrix()
         updates = self._update_rows(k)
-        losses = self._executor.run_iteration(self.learners, updates, self.replica_bank)
+        losses = self._executor.run_iteration(self.learners)
         for index, learner in enumerate(self.learners):
             learner.replica.iterations_processed += 1
             learner.batches_processed += 1
@@ -436,14 +604,26 @@ class CrossbowTrainer:
         losses: np.ndarray,
         replicas: List[ModelReplica],
         synchronise: bool,
+        out: Optional[np.ndarray] = None,
+        overlapped: bool = False,
+        staleness: int = 0,
     ) -> float:
-        """Apply the fused update to the bank and schedule the simulated tasks."""
+        """Apply the fused update to the bank and schedule the simulated tasks.
+
+        With ``out`` (pipelined mode) the new weights land in the back buffer
+        instead of mutating ``weights`` — the deferred publish of the
+        flip protocol.  The weight-decay term always uses ``weights`` (the
+        newest published weights), not the stale view the gradients were
+        computed on.  ``overlapped``/``staleness`` feed the sync counters.
+        """
+        started = time.perf_counter()
         np.multiply(updates, self._last_lr, out=updates)
         if self.weight_decay:
             decay = self._decay_rows(len(replicas))
             np.multiply(weights, self._last_lr * self.weight_decay, out=decay)
             updates += decay
-        self.synchroniser.step_matrix(weights, updates)
+        self.synchroniser.step_matrix(weights, updates, out=out)
+        self.sync_counters.record(time.perf_counter() - started, overlapped, staleness)
 
         # Hardware part: schedule the corresponding tasks on the simulated server.
         timing = self.scheduler.schedule_iteration(
@@ -464,14 +644,25 @@ class CrossbowTrainer:
         worker pool is invalidated so it respawns against the new rows.
         """
         if k > self._update_matrix.shape[0]:
+            cols = self._update_matrix.shape[1]
             if self._executor is not None:
-                self._update_shared = SharedMatrix(k, self._update_matrix.shape[1])
-                self._update_matrix = self._update_shared.array
-                self._executor.invalidate()
+                # Old segments stay alive (and in self._shared_segments) until
+                # close(): running workers may still map them mid-invalidate.
+                update = SharedMatrix(k, cols)
+                self._shared_segments.append(update)
+                self._update_matrix = update.array
+                if self._update_matrix_b is not None:
+                    update_b = SharedMatrix(k, cols)
+                    self._shared_segments.append(update_b)
+                    self._update_matrix_b = update_b.array
+                if self._shadow_matrix is not None:
+                    shadow = SharedMatrix(k, cols)
+                    self._shared_segments.append(shadow)
+                    self._shadow_matrix = shadow.array
+                # Re-binding different buffer objects invalidates the pool.
+                self._bind_executor_buffers()
             else:
-                self._update_matrix = np.zeros(
-                    (k, self._update_matrix.shape[1]), dtype=np.float32
-                )
+                self._update_matrix = np.zeros((k, cols), dtype=np.float32)
         return self._update_matrix[:k]
 
     def _decay_rows(self, k: int) -> np.ndarray:
@@ -504,6 +695,7 @@ class CrossbowTrainer:
         until every new learner is registered, and the lock is released exactly
         once even if a mid-resize step raises.
         """
+        self._quiesce_for_resize()
         self.scheduler.barrier()
         with self.replica_pool.locked():
             center = np.array(self.synchroniser.center, copy=True)
@@ -522,6 +714,7 @@ class CrossbowTrainer:
         are retired for reuse by a later grow, so grow/shrink oscillation
         leaks neither scheduler state nor streams.
         """
+        self._quiesce_for_resize()
         self.scheduler.barrier()
         removed: List[ModelReplica] = []
         with self.replica_pool.locked():
@@ -532,7 +725,9 @@ class CrossbowTrainer:
         if removed:
             removed_ids = {replica.replica_id for replica in removed}
             self.learners = [
-                learner for learner in self.learners if learner.replica.replica_id not in removed_ids
+                learner
+                for learner in self.learners
+                if learner.replica.replica_id not in removed_ids
             ]
             for replica in removed:
                 self.scheduler.deregister_replica(replica)
@@ -540,16 +735,35 @@ class CrossbowTrainer:
         self._finish_resize()
         logger.debug("auto-tuner: shrank to %d learners per GPU", self.autotuner.learners_per_gpu)
 
+    def _quiesce_for_resize(self) -> None:
+        """Barriers that must precede any learner-set change.
+
+        * Pipelined mode: apply the in-flight iteration and republish the
+          bank, so the resize operates on canonical weights and no worker is
+          mid-step when rows move.
+        * Off-path evaluation: drain any pending checkpoint evaluation before
+          re-sharding.  Eval *epochs* already drain when a target accuracy
+          needs the number, but a resize can land between epochs' polls with
+          submissions still queued; finishing them first means an off-path
+          accuracy can never be computed concurrently with (or reordered
+          around) a half-packed bank and the synchroniser rebuild.
+        """
+        self._flush_pipeline()
+        if self._evaluation_service is not None and self._evaluation_service.pending():
+            self._evaluation_service.drain()
+
     def _finish_resize(self) -> None:
         """Re-pack the bank into learner order and rebuild the synchroniser.
 
-        Under ``execution="process"`` the worker pool is also invalidated (its
-        buffers synced back first), so the next iteration respawns workers
-        against the re-packed bank rows and re-sharded input streams.
+        Under ``execution="process"`` the worker pool is then re-sharded in
+        place (persistent pool: surviving workers re-bind to their packed
+        rows and re-strided shards, removed workers stop, added learners get
+        fresh forks) — or invalidated for a full respawn when in-place reuse
+        is not possible (see :meth:`ProcessExecutor.resize`).
         """
-        if self._executor is not None:
-            self._executor.invalidate()
         self.replica_bank.pack([learner.replica for learner in self.learners])
+        if self._executor is not None:
+            self._executor.resize(self.learners)
         self._rebuild_synchroniser_preserving_center()
         # The synchroniser object (and its version counter) was replaced, and
         # the replica set changed; drop the cached central model outright.
@@ -606,6 +820,10 @@ class CrossbowTrainer:
         buffers.  Treat it as a read-only snapshot; the next step invalidates
         it.
         """
+        # A pipelined in-flight iteration must be applied first: z (and the
+        # published weights) would otherwise lag the already-computed
+        # gradients of the pending step.  No-op at epoch boundaries.
+        self._flush_pipeline()
         key = (getattr(self.synchroniser, "version", -1), len(self.learners))
         if self._central_cache is not None and key == self._central_cache_key:
             return self._central_cache
@@ -685,15 +903,23 @@ class CrossbowTrainer:
         usable for evaluation — but not for further training.
         """
         if self._executor is not None:
+            # Apply any pipelined in-flight update so the final central model
+            # and bank state reflect every collected gradient.  The flush is
+            # parent-side arithmetic only, so it is safe even if workers died.
+            self._flush_pipeline()
             self._executor.close()
         if isinstance(self.replica_bank, SharedReplicaBank):
             self.replica_bank.close()
-        if self._update_shared is not None:
-            # Swap in a private empty matrix before unlinking: a surviving view
-            # into the unmapped segment would segfault on any later touch.
-            self._update_matrix = np.zeros((0, self._update_matrix.shape[1]), dtype=np.float32)
-            self._update_shared.close()
-            self._update_shared = None
+        if self._shared_segments:
+            # Swap in private empty matrices before unlinking: a surviving view
+            # into an unmapped segment would segfault on any later touch.
+            cols = self._update_matrix.shape[1]
+            self._update_matrix = np.zeros((0, cols), dtype=np.float32)
+            self._update_matrix_b = None
+            self._shadow_matrix = None
+            for segment in self._shared_segments:
+                segment.close()
+            self._shared_segments = []
 
     def __enter__(self) -> "CrossbowTrainer":
         return self

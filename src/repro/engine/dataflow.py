@@ -14,7 +14,7 @@ residual-add operators of the ResNet blocks.  The graph is used by:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -84,7 +84,9 @@ def trace_dataflow(
     """
     records: List[Tuple[str, str, Tuple[int, ...]]] = []
     block_entries: Dict[str, int] = {}
-    leaf_modules = [(name, module) for name, module in model.named_modules() if not module._modules]
+    leaf_modules = [
+        (name, module) for name, module in model.named_modules() if not module._modules
+    ]
     blocks = [
         (name, module)
         for name, module in model.named_modules()

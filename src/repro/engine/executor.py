@@ -14,18 +14,29 @@ learning tasks to GPU streams (§4.1–§4.3):
   are zero-copy views into its bank row in *both* address spaces.
 * :class:`WorkerPool` — one forked process per learner, each streaming its own
   dataset shard (:class:`~repro.data.sharding.ShardedBatchStream`) and writing
-  gradients straight into a shared ``(k, P)`` update matrix.
+  gradients straight into a shared ``(k, P)`` update matrix.  The pool is
+  persistent: auto-tuner resizes re-shard it in place instead of respawning
+  every fork.
 * :class:`ProcessExecutor` — the trainer-facing facade: epoch/iteration
-  protocol, buffer round-trips for evaluation, and pool respawn when the
-  auto-tuner resizes the bank.
+  protocol, split issue/collect steps for pipelined synchronisation, buffer
+  round-trips for evaluation, and the in-place-resize/respawn decision.
 
-Execution model per iteration: the parent broadcasts one ``step`` command,
-every worker materialises its next prefetched batch, runs forward/backward on
-its bank-row-backed replica and scatters the gradient into its update row;
-the parent then applies the fused ``SMA.step_matrix`` to the shared weights
-while the workers prefetch their next batch (double buffering).  Workers
-block between commands, so the schedule is synchronous and — with
-augmentation disabled — bit-identical to ``execution="serial"``.
+Execution model per iteration (``pipeline_depth=0``): the parent broadcasts
+one ``step`` command, every worker materialises its next prefetched batch,
+runs forward/backward on its bank-row-backed replica and scatters the
+gradient into its update row; the parent then applies the fused
+``SMA.step_matrix`` to the shared weights while the workers prefetch their
+next batch (double buffering).  Workers block between commands, so the
+schedule is synchronous and — with augmentation disabled — bit-identical to
+``execution="serial"``.
+
+With ``pipeline_depth=1`` the trainer instead issues iteration ``t+1``
+*before* applying iteration ``t``'s fused update: workers read a published
+front weight buffer while the parent writes the back buffer, and gradients
+alternate between two update matrices, so the serial synchronisation section
+overlaps the next gradient computation (see
+:meth:`repro.engine.crossbow.CrossbowTrainer` and ``docs/architecture.md``
+for the publish/flip protocol and the depth ≤ 1 staleness bound).
 
 Only the ``fork`` start method is supported: workers inherit the already
 mapped shared segments, the model object graph and the prefetch streams
@@ -186,10 +197,14 @@ class SharedReplicaBank(ReplicaBank):
 class _WorkerState:
     """Everything one worker process needs; inherited via fork, never pickled."""
 
-    index: int
+    index: int  # learner index == bank/update row == shard id
     learner: Learner
     stream: ShardedBatchStream
-    update_row: np.ndarray  # (P,) view into the shared update matrix
+    # Full (capacity, P) matrices, all in shared memory.  weight_matrices[0]
+    # is the replica bank itself; [1] (when present) is the pipelined back
+    # buffer.  Step commands address rows by (matrix index, state.index).
+    weight_matrices: List[np.ndarray]
+    update_matrices: List[np.ndarray]
     commands: Any  # multiprocessing.SimpleQueue
     results: Any  # multiprocessing.Queue (shared across workers)
     # Spawn-time epoch state, inherited via fork rather than pre-seeded into
@@ -203,6 +218,24 @@ class _WorkerState:
 def _worker_main(state: _WorkerState) -> None:
     """Worker process body: serve gradient / epoch / buffer commands until stop.
 
+    Command protocol (parent → worker, per-worker FIFO queue):
+
+    * ``("step", w, u)`` — compute one shard gradient with the replica weights
+      read from ``weight_matrices[w]`` and the gradient scattered into row
+      ``index`` of ``update_matrices[u]``.  The pipelined executor alternates
+      ``w`` between the published front buffer and the back buffer the parent
+      is writing; the worker re-binds its module parameters (a zero-copy view
+      adoption, ``copy=False``) whenever ``w`` changes.
+    * ``("epoch", epoch, order, offset)`` — hand the stream the epoch's sample
+      permutation.
+    * ``("reshard", index, num_shards, epoch, order, offset)`` — persistent
+      pool resize: adopt a new learner index (bank row, update row and shard
+      id in one), re-stride the local shard stream in place, re-bind the model
+      to bank row ``index`` (the parent has just re-packed the bank, so the
+      bank — matrix 0 — is canonical) and resume the epoch at ``offset``.
+    * ``("buffers",)`` — ship the model's non-trainable buffers back.
+    * ``("stop",)`` — exit.
+
     Any exception — including ones outside the gradient computation, such as a
     failed epoch hand-off or a prefetch error after the step result was already
     posted — is forwarded to the parent as an error tuple before the worker
@@ -211,6 +244,7 @@ def _worker_main(state: _WorkerState) -> None:
     """
     stream = state.stream
     learner = state.learner
+    bound = 0  # weight matrix the model's parameters currently view
     try:
         if state.epoch is not None and state.order is not None:
             stream.start_epoch(state.epoch, state.order, state.offset)
@@ -224,7 +258,15 @@ def _worker_main(state: _WorkerState) -> None:
                 stream.start_epoch(epoch, order, offset)
                 continue
             if op == "step":
-                loss = learner.compute_shard_gradient(stream, out=state.update_row)
+                _, weights_index, updates_index = command
+                if weights_index != bound:
+                    # Adopt the addressed buffer's values; never write to it.
+                    learner.replica.model.attach_parameter_storage(
+                        state.weight_matrices[weights_index][state.index], copy=False
+                    )
+                    bound = weights_index
+                out = state.update_matrices[updates_index][state.index]
+                loss = learner.compute_shard_gradient(stream, out=out)
                 state.results.put((state.index, loss, None))
                 # Double buffering: assemble the next batch while the parent
                 # runs the fused synchronisation step on the shared bank.
@@ -237,19 +279,44 @@ def _worker_main(state: _WorkerState) -> None:
                 }
                 state.results.put((state.index, buffers, None))
                 continue
+            if op == "reshard":
+                _, index, num_shards, epoch, order, offset = command
+                state.index = index
+                stream.reconfigure(index, num_shards)
+                # The parent flushed any pipelined back buffer and re-packed
+                # the bank before re-sharding, so the bank row is the truth.
+                learner.replica.model.attach_parameter_storage(
+                    state.weight_matrices[0][index], copy=False
+                )
+                bound = 0
+                stream.start_epoch(epoch, order, offset)
+                continue
             raise SchedulingError(f"unknown worker command {op!r}")
     except Exception:  # noqa: BLE001 - forwarded to the parent verbatim
         state.results.put((state.index, None, traceback.format_exc()))
 
 
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one live worker process."""
+
+    process: Any
+    commands: Any  # multiprocessing.SimpleQueue
+    learner: Learner
+
+
 class WorkerPool:
     """One forked worker process per learner, fed by per-worker shard streams.
 
-    The pool is immutable once spawned: a resize (different learner count,
-    re-packed bank, or reallocated shared matrices) stops it and spawns a new
-    one — forking is cheap next to the auto-tuner interval, and respawning
-    re-inherits the parent's current object graph wholesale, so there is no
-    incremental state-repair protocol to get wrong.
+    The pool is *persistent*: an auto-tuner resize calls :meth:`resize`, which
+    re-shards the surviving workers in place (a ``reshard`` command re-points
+    their shard stream and bank-row binding), stops workers whose learner was
+    removed, and forks workers only for newly added learners — so the dominant
+    cost of the old stop-everything-and-respawn protocol (k forks, k joins and
+    a full buffer round-trip per resize) is replaced by at most one fork per
+    added learner.  Respawning from scratch remains available (and is what
+    :class:`ProcessExecutor` falls back to when the shared matrices themselves
+    were reallocated or augmentation state cannot be migrated).
 
     Parameters
     ----------
@@ -258,8 +325,13 @@ class WorkerPool:
         gradients for ``learners[j]``.
     streams : sequence of ShardedBatchStream
         One shard stream per learner (``streams[j].shard_index == j``).
-    update_rows : numpy.ndarray
-        The shared ``(k, P)`` gradient matrix; worker ``j`` writes row ``j``.
+    weight_matrices : sequence of numpy.ndarray
+        Full ``(capacity, P)`` shared weight buffers; ``[0]`` is the replica
+        bank, ``[1]`` (optional) the pipelined back buffer.
+    update_matrices : sequence of numpy.ndarray
+        Full ``(capacity, P)`` shared gradient buffers; the pipelined executor
+        alternates between two so iteration ``t+1``'s gradients never race
+        iteration ``t``'s fused update.
     epoch_state : tuple, optional
         ``(epoch, order, offset)`` to resume streaming from, for pools
         spawned mid-epoch (after an auto-tuner resize).
@@ -269,7 +341,8 @@ class WorkerPool:
         self,
         learners: Sequence[Learner],
         streams: Sequence[ShardedBatchStream],
-        update_rows: np.ndarray,
+        weight_matrices: Sequence[np.ndarray],
+        update_matrices: Sequence[np.ndarray],
         epoch_state: Optional[Tuple[int, np.ndarray, int]] = None,
     ) -> None:
         if len(learners) != len(streams):
@@ -277,51 +350,78 @@ class WorkerPool:
                 f"need one shard stream per learner: {len(streams)} streams, "
                 f"{len(learners)} learners"
             )
-        if update_rows.shape[0] < len(learners):
-            raise SchedulingError(
-                f"update matrix has {update_rows.shape[0]} rows for {len(learners)} learners"
-            )
-        ctx = _fork_context()
-        self.num_workers = len(learners)
+        if not weight_matrices or not update_matrices:
+            raise SchedulingError("worker pool needs weight and update matrices")
+        for matrix in list(weight_matrices) + list(update_matrices):
+            if matrix.shape[0] < len(learners):
+                raise SchedulingError(
+                    f"shared matrix has {matrix.shape[0]} rows for {len(learners)} learners"
+                )
+        self._ctx = _fork_context()
+        self._weight_matrices = list(weight_matrices)
+        self._update_matrices = list(update_matrices)
         # A full Queue (not SimpleQueue) so _collect can poll with a timeout
         # and notice dead workers instead of blocking forever.
-        self._results = ctx.Queue()
-        self._commands = []
-        self._processes = []
+        self._results = self._ctx.Queue()
+        self._handles: List[_WorkerHandle] = []
         self._stopped = False
+        self._inflight = False
         for index, (learner, stream) in enumerate(zip(learners, streams)):
-            commands = ctx.SimpleQueue()
-            state = _WorkerState(
-                index=index,
-                learner=learner,
-                stream=stream,
-                update_row=update_rows[index],
-                commands=commands,
-                results=self._results,
-                epoch=None if epoch_state is None else epoch_state[0],
-                order=None if epoch_state is None else epoch_state[1],
-                offset=0 if epoch_state is None else epoch_state[2],
-            )
-            process = ctx.Process(
-                target=_worker_main, args=(state,), daemon=True, name=f"learner-worker-{index}"
-            )
-            process.start()
-            self._commands.append(commands)
-            self._processes.append(process)
+            self._handles.append(self._spawn(index, learner, stream, epoch_state))
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._handles)
+
+    @property
+    def learners(self) -> List[Learner]:
+        """The pool's learners in worker-index order."""
+        return [handle.learner for handle in self._handles]
+
+    # -- spawning ------------------------------------------------------------------------
+    def _spawn(
+        self,
+        index: int,
+        learner: Learner,
+        stream: ShardedBatchStream,
+        epoch_state: Optional[Tuple[int, np.ndarray, int]],
+    ) -> _WorkerHandle:
+        commands = self._ctx.SimpleQueue()
+        state = _WorkerState(
+            index=index,
+            learner=learner,
+            stream=stream,
+            weight_matrices=self._weight_matrices,
+            update_matrices=self._update_matrices,
+            commands=commands,
+            results=self._results,
+            epoch=None if epoch_state is None else epoch_state[0],
+            order=None if epoch_state is None else epoch_state[1],
+            offset=0 if epoch_state is None else epoch_state[2],
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(state,),
+            daemon=True,
+            name=f"learner-worker-{learner.learner_id}",
+        )
+        process.start()
+        return _WorkerHandle(process=process, commands=commands, learner=learner)
 
     # -- command protocol ----------------------------------------------------------------
     def _broadcast(self, command: Tuple) -> None:
-        for queue in self._commands:
-            queue.put(command)
+        for handle in self._handles:
+            handle.commands.put(command)
 
     def _collect(self) -> List[Any]:
         payloads: List[Any] = [None] * self.num_workers
         received = 0
         deadline = time.monotonic() + _RESULT_TIMEOUT_S
+        processes = [handle.process for handle in self._handles]
         while received < self.num_workers:
             index, payload, error = wait_for_result(
                 self._results,
-                self._processes,
+                processes,
                 deadline,
                 what=f"{self.num_workers - received} of {self.num_workers} worker results",
             )
@@ -335,42 +435,125 @@ class WorkerPool:
         """Ship the epoch's permutation to every worker's shard stream."""
         self._broadcast(("epoch", epoch, order, offset))
 
-    def step(self) -> np.ndarray:
-        """Run one learning task per worker; returns the ``(k,)`` loss vector.
+    def issue_step(self, weights_index: int = 0, updates_index: int = 0) -> None:
+        """Dispatch one learning task per worker without waiting for results.
 
-        On return, row ``j`` of the shared update matrix holds learner ``j``'s
+        ``weights_index`` selects the weight buffer the workers read (the
+        published front buffer), ``updates_index`` the gradient buffer they
+        write.  At most one step may be in flight — the pool enforces the
+        pipeline's depth ≤ 1 staleness bound structurally.
+        """
+        if self._inflight:
+            raise SchedulingError(
+                "a step is already in flight (pipeline depth is bounded at 1)"
+            )
+        self._broadcast(("step", weights_index, updates_index))
+        self._inflight = True
+
+    def collect_step(self) -> np.ndarray:
+        """Wait for the in-flight step; returns the ``(k,)`` loss vector.
+
+        On return, each worker's row of the addressed update matrix holds its
         raw gradient for its shard's next batch.
         """
-        self._broadcast(("step",))
-        losses = self._collect()
+        if not self._inflight:
+            raise SchedulingError("no step in flight to collect")
+        try:
+            losses = self._collect()
+        finally:
+            # A failed collect (dead worker) still clears the flag so the
+            # caller can tear the pool down without tripping the guard.
+            self._inflight = False
         return np.array(losses, dtype=np.float64)
+
+    def step(self, weights_index: int = 0, updates_index: int = 0) -> np.ndarray:
+        """Run one learning task per worker; returns the ``(k,)`` loss vector."""
+        self.issue_step(weights_index, updates_index)
+        return self.collect_step()
+
+    @property
+    def step_in_flight(self) -> bool:
+        return self._inflight
 
     def gather_buffers(self) -> List[Dict[str, np.ndarray]]:
         """Fetch every worker's non-trainable buffers (batch-norm statistics)."""
+        if self._inflight:
+            raise SchedulingError("cannot gather buffers while a step is in flight")
         self._broadcast(("buffers",))
         return self._collect()
 
+    # -- persistent resize ---------------------------------------------------------------
+    def resize(
+        self,
+        learners: Sequence[Learner],
+        streams: Sequence[ShardedBatchStream],
+        epoch_state: Tuple[int, np.ndarray, int],
+    ) -> None:
+        """Re-shard the live pool to a new learner list without a respawn.
+
+        The caller must have quiesced the pipeline (no step in flight), synced
+        nothing — worker-private batch-norm state survives untouched — and
+        already re-packed the bank so that ``learners[i]`` owns bank row
+        ``i``.  Workers whose learner survives receive a ``reshard`` command
+        (new index, new stride, epoch resume point); workers whose learner was
+        removed are stopped; new learners get freshly forked workers that
+        inherit the parent's current object graph.
+        """
+        if self._stopped:
+            raise SchedulingError("cannot resize a stopped pool")
+        if self._inflight:
+            raise SchedulingError("cannot resize while a step is in flight")
+        if len(learners) != len(streams):
+            raise SchedulingError(
+                f"need one shard stream per learner: {len(streams)} streams, "
+                f"{len(learners)} learners"
+            )
+        for matrix in self._weight_matrices + self._update_matrices:
+            if matrix.shape[0] < len(learners):
+                raise SchedulingError(
+                    f"shared matrix has {matrix.shape[0]} rows for {len(learners)} learners"
+                )
+        epoch, order, offset = epoch_state
+        survivors = {id(handle.learner): handle for handle in self._handles}
+        new_handles: List[_WorkerHandle] = []
+        spawned: List[Tuple[int, Learner, ShardedBatchStream]] = []
+        for index, learner in enumerate(learners):
+            handle = survivors.pop(id(learner), None)
+            if handle is not None:
+                handle.commands.put(("reshard", index, len(learners), epoch, order, offset))
+                new_handles.append(handle)
+            else:
+                spawned.append((index, learner, streams[index]))
+                new_handles.append(None)  # type: ignore[arg-type] - filled below
+        for handle in survivors.values():
+            self._stop_worker(handle)
+        for index, learner, stream in spawned:
+            new_handles[index] = self._spawn(index, learner, stream, (epoch, order, offset))
+        self._handles = new_handles
+
+    def _stop_worker(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.commands.put(("stop",))
+        except (OSError, ValueError):  # pragma: no cover - queue already gone
+            pass
+        handle.process.join(timeout=10.0)
+        if handle.process.is_alive():  # pragma: no cover - stuck worker
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+        handle.commands.close()
+
+    # -- lifecycle -----------------------------------------------------------------------
     def stop(self) -> None:
         """Terminate all workers (idempotent)."""
         if self._stopped:
             return
         self._stopped = True
-        for queue in self._commands:
-            try:
-                queue.put(("stop",))
-            except (OSError, ValueError):  # pragma: no cover - queue already gone
-                pass
-        for process in self._processes:
-            process.join(timeout=10.0)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=5.0)
-        for queue in self._commands:
-            queue.close()
+        for handle in self._handles:
+            self._stop_worker(handle)
         self._results.close()
 
     def is_alive(self) -> bool:
-        return not self._stopped and all(p.is_alive() for p in self._processes)
+        return not self._stopped and all(h.process.is_alive() for h in self._handles)
 
     def __del__(self) -> None:  # pragma: no cover - GC backstop
         try:
@@ -386,19 +569,84 @@ class ProcessExecutor:
     its batch iterator: which epoch is streaming, its permutation, and how
     many global batches have been consumed.  The pool itself is spawned
     lazily — on the first iteration, and again whenever :meth:`invalidate`
-    marks the current one stale (auto-tuner resize, shared-matrix
-    reallocation) — so forks always inherit the trainer's *current* learner
-    and bank state.
+    marks the current one stale (shared-matrix reallocation) — so forks
+    always inherit the trainer's *current* learner and bank state.
+
+    Two features distinguish it from the PR-2 executor:
+
+    * **Split step protocol** — :meth:`issue_step` / :meth:`collect_step` let
+      the trainer overlap the fused synchronisation of iteration ``t`` with
+      the workers' gradient computation of iteration ``t+1`` (pipelined
+      execution, ``pipeline_depth=1``), addressing the published weight
+      buffer and the gradient buffer per step.  :meth:`run_iteration` remains
+      the fused issue+collect used by ``pipeline_depth=0``.
+    * **Persistent resize** — :meth:`resize` re-shards the live pool in place
+      (see :meth:`WorkerPool.resize`) instead of stopping and respawning
+      every fork, unless persistence is disabled, augmentation state would
+      have to migrate across processes, or the shared buffers themselves were
+      reallocated.
     """
 
-    def __init__(self, pipeline: ShardedBatchPipeline) -> None:
+    def __init__(self, pipeline: ShardedBatchPipeline, persistent: bool = True) -> None:
         self.pipeline = pipeline
+        self.persistent = persistent
         self._pool: Optional[WorkerPool] = None
-        self._spawned_for: Optional[Tuple[int, int, int]] = None
-        self._spawned_learners: List[Learner] = []
+        self._spawned_for: Optional[Tuple] = None
+        self._bank: Optional[ReplicaBank] = None
+        self._extra_weight_matrices: List[np.ndarray] = []
+        self._update_matrices: List[np.ndarray] = []
         self._epoch: Optional[int] = None
         self._order: Optional[np.ndarray] = None
         self._consumed = 0  # global batches consumed this epoch
+        self.respawns = 0
+        self.resizes_in_place = 0
+
+    # -- buffer registration -------------------------------------------------------------
+    def bind_buffers(
+        self,
+        bank: ReplicaBank,
+        extra_weight_matrices: Sequence[np.ndarray] = (),
+        update_matrices: Sequence[np.ndarray] = (),
+    ) -> None:
+        """Register the shared buffers worker steps address.
+
+        ``bank`` is weight buffer 0 (its full ``storage`` matrix);
+        ``extra_weight_matrices`` follow (the pipelined back buffer);
+        ``update_matrices`` are the gradient buffers.  Re-binding with
+        different objects invalidates the running pool, because live workers
+        only map the segments that existed when they were forked.
+        """
+        if not update_matrices:
+            raise SchedulingError("executor needs at least one update matrix")
+        signature = (
+            id(bank),
+            tuple(id(m) for m in extra_weight_matrices),
+            tuple(id(m) for m in update_matrices),
+        )
+        current = (
+            id(self._bank) if self._bank is not None else None,
+            tuple(id(m) for m in self._extra_weight_matrices),
+            tuple(id(m) for m in self._update_matrices),
+        )
+        if signature == current:
+            return
+        self._bank = bank
+        self._extra_weight_matrices = list(extra_weight_matrices)
+        self._update_matrices = list(update_matrices)
+        if self._pool is not None:
+            self.invalidate()
+
+    def _weight_matrices(self) -> List[np.ndarray]:
+        assert self._bank is not None
+        return [self._bank.storage, *self._extra_weight_matrices]
+
+    def _signature(self, num_learners: int) -> Tuple:
+        return (
+            num_learners,
+            getattr(self._bank, "generation", 0),
+            tuple(id(m) for m in self._extra_weight_matrices),
+            tuple(id(m) for m in self._update_matrices),
+        )
 
     # -- epoch protocol ------------------------------------------------------------------
     def begin_epoch(self, epoch: int) -> None:
@@ -410,42 +658,58 @@ class ProcessExecutor:
             self._pool.start_epoch(epoch, self._order, 0)
 
     def batches_remaining(self) -> int:
-        """Global batches left in the current epoch."""
+        """Global batches left in the current epoch (issued steps count as consumed)."""
         if self._order is None:
             return 0
         return self.pipeline.batches_per_epoch - self._consumed
 
     # -- iteration protocol --------------------------------------------------------------
-    def run_iteration(
-        self, learners: Sequence[Learner], update_rows: np.ndarray, bank: ReplicaBank
-    ) -> np.ndarray:
+    def run_iteration(self, learners: Sequence[Learner]) -> np.ndarray:
         """Compute one gradient per learner in parallel; returns ``(k,)`` losses.
 
-        ``update_rows`` is the shared ``(k, P)`` matrix slice the workers
-        write into; ``bank`` is checked for reallocation so stale pools are
-        respawned before any worker touches freed memory.
+        The synchronous protocol of ``pipeline_depth=0``: equivalent to
+        :meth:`issue_step` immediately followed by :meth:`collect_step`,
+        always addressing weight buffer 0 (the bank) and update buffer 0.
+        """
+        self.issue_step(learners)
+        return self.collect_step()
+
+    def issue_step(
+        self,
+        learners: Sequence[Learner],
+        weights_index: int = 0,
+        updates_index: int = 0,
+    ) -> None:
+        """Dispatch one learning task per worker without waiting for results.
+
+        ``weights_index`` addresses the weight buffer workers read (0 = the
+        bank, 1 = the pipelined back buffer), ``updates_index`` the gradient
+        buffer they write.  At most one step may be in flight.
         """
         if self._epoch is None:
-            raise SchedulingError("run_iteration() before begin_epoch()")
+            raise SchedulingError("issue_step() before begin_epoch()")
         if self.batches_remaining() < len(learners):
             raise SchedulingError(
                 f"epoch {self._epoch} has {self.batches_remaining()} batches left "
                 f"for {len(learners)} learners"
             )
-        self._ensure_pool(learners, update_rows, bank)
+        self._ensure_pool(learners)
         assert self._pool is not None
-        losses = self._pool.step()
+        self._pool.issue_step(weights_index, updates_index)
         self._consumed += len(learners)
-        return losses
 
-    def _ensure_pool(
-        self, learners: Sequence[Learner], update_rows: np.ndarray, bank: ReplicaBank
-    ) -> None:
-        signature = (
-            len(learners),
-            id(update_rows.base if update_rows.base is not None else update_rows),
-            getattr(bank, "generation", 0),
-        )
+    def collect_step(self) -> np.ndarray:
+        """Wait for the in-flight step's losses (``(k,)`` float64)."""
+        if self._pool is None:
+            raise SchedulingError("no worker pool is running")
+        return self._pool.collect_step()
+
+    @property
+    def step_in_flight(self) -> bool:
+        return self._pool is not None and self._pool.step_in_flight
+
+    def _ensure_pool(self, learners: Sequence[Learner]) -> None:
+        signature = self._signature(len(learners))
         if self._pool is not None and self._pool.is_alive() and signature == self._spawned_for:
             return
         self._stop_pool(sync_buffers=True)
@@ -456,10 +720,52 @@ class ProcessExecutor:
         if self._epoch is not None and self._order is not None:
             epoch_state = (self._epoch, self._order, self._consumed)
         self._pool = WorkerPool(
-            learners, self.pipeline.streams, update_rows, epoch_state=epoch_state
+            learners,
+            self.pipeline.streams,
+            self._weight_matrices(),
+            self._update_matrices,
+            epoch_state=epoch_state,
         )
         self._spawned_for = signature
-        self._spawned_learners = list(learners)
+        self.respawns += 1
+
+    # -- resize --------------------------------------------------------------------------
+    def resize(self, learners: Sequence[Learner]) -> str:
+        """Adapt the executor to a new learner list after an auto-tuner resize.
+
+        Returns ``"in-place"`` when the persistent pool was re-sharded
+        without a respawn, else ``"respawn"`` (the pool was invalidated and
+        the next iteration re-forks it).  The caller must have re-packed the
+        bank so ``learners[i]`` owns row ``i`` and quiesced any pipelined
+        step before calling.
+
+        The in-place path is taken only when it is exactly equivalent to a
+        respawn: the pool is alive mid-epoch, the shared buffers are
+        unchanged (same bank generation, same matrices), and the input path
+        carries no augmentation state — per-worker augmentation streams are
+        deliberately regenerated on a respawn, and migrating that state
+        through a queue would change the documented resize semantics.
+        """
+        if self._pool is None or not self._pool.is_alive():
+            self._stop_pool(sync_buffers=False)
+            return "respawn"
+        signature = self._signature(len(learners))
+        in_place_ok = (
+            self.persistent
+            and not self.pipeline.has_augmentation
+            and self._epoch is not None
+            and self._order is not None
+            and self._spawned_for is not None
+            and signature[1:] == self._spawned_for[1:]
+        )
+        if not in_place_ok:
+            self.invalidate()
+            return "respawn"
+        streams = self.pipeline.reshard(len(learners))
+        self._pool.resize(learners, streams, (self._epoch, self._order, self._consumed))
+        self._spawned_for = signature
+        self.resizes_in_place += 1
+        return "in-place"
 
     # -- buffer round trip ----------------------------------------------------------------
     def sync_buffers(self) -> None:
@@ -469,13 +775,12 @@ class ProcessExecutor:
         bank), but batch-norm running statistics are updated by the forward
         pass in worker-private memory.  Called before evaluation and before a
         pool respawn, so the parent — the fork source — always holds the
-        latest statistics.  The buffers land on the learners the pool was
-        spawned with, which may predate an in-flight resize.
+        latest statistics.
         """
         if self._pool is None or not self._pool.is_alive():
             return
         gathered = self._pool.gather_buffers()
-        for learner, buffers in zip(self._spawned_learners, gathered):
+        for learner, buffers in zip(self._pool.learners, gathered):
             if not buffers:
                 continue
             for name, value in learner.replica.model.named_buffers():
@@ -483,7 +788,7 @@ class ProcessExecutor:
 
     # -- lifecycle -------------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Stop the pool so the next iteration respawns it (auto-tuner resize).
+        """Stop the pool so the next iteration respawns it.
 
         Worker buffers are synced back first, so the respawned workers fork
         from up-to-date models.
@@ -498,7 +803,6 @@ class ProcessExecutor:
         self._pool.stop()
         self._pool = None
         self._spawned_for = None
-        self._spawned_learners = []
 
     def close(self) -> None:
         """Terminate the worker pool (the executor can be restarted after this).

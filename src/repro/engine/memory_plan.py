@@ -17,7 +17,7 @@ derived from a real model with :func:`operator_specs_from_forward`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -38,6 +38,62 @@ class EpochRecord:
         return self.samples_processed / self.sim_time
 
 
+@dataclass
+class SyncCounters:
+    """Where the synchronisation step's wall-clock time went, plus staleness.
+
+    The paper's core systems claim is that synchronisation must not serialise
+    the learners; these counters make the reproduction's behaviour on that
+    axis observable.  Every fused ``step_matrix`` application is recorded
+    either as a **stall** (the learners were idle while it ran: serial mode,
+    ``pipeline_depth=0``, or a pipeline flush at an epoch/resize boundary) or
+    as **overlapped** (it ran while the workers were already computing the
+    next iteration's gradients, ``pipeline_depth=1`` steady state).
+
+    ``staleness`` of an iteration is how many central-model updates its
+    gradients missed: 0 in synchronous schedules, exactly 1 for every
+    steady-state pipelined iteration (the first iteration after an epoch
+    start or a resize fill runs on fresh weights).  The pipeline bounds it at
+    1 structurally — at most one step is ever in flight.
+    """
+
+    iterations: int = 0
+    sync_stall_seconds: float = 0.0
+    overlapped_sync_seconds: float = 0.0
+    stale_iterations: int = 0
+    max_staleness: int = 0
+
+    def record(self, sync_seconds: float, overlapped: bool, staleness: int) -> None:
+        """Account one applied iteration's synchronisation cost."""
+        self.iterations += 1
+        if overlapped:
+            self.overlapped_sync_seconds += sync_seconds
+        else:
+            self.sync_stall_seconds += sync_seconds
+        if staleness > 0:
+            self.stale_iterations += 1
+        self.max_staleness = max(self.max_staleness, staleness)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of synchronisation time hidden behind gradient work."""
+        total = self.sync_stall_seconds + self.overlapped_sync_seconds
+        if total <= 0.0:
+            return 0.0
+        return self.overlapped_sync_seconds / total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for ``TrainingResult.extra`` / benchmark rows."""
+        return {
+            "sync_iterations": self.iterations,
+            "sync_stall_seconds": round(self.sync_stall_seconds, 6),
+            "overlapped_sync_seconds": round(self.overlapped_sync_seconds, 6),
+            "sync_overlap_fraction": round(self.overlap_fraction, 4),
+            "stale_iterations": self.stale_iterations,
+            "max_staleness": self.max_staleness,
+        }
+
+
 class TrainingMetrics:
     """Collects per-epoch records and answers TTA / ETA queries.
 

@@ -100,6 +100,16 @@ class ReplicaBank:
         """Zero-copy ``(k, P)`` view of every active replica's weights."""
         return self._matrix[: len(self._owners)]
 
+    @property
+    def storage(self) -> np.ndarray:
+        """The full ``(capacity, P)`` backing matrix (active rows are a prefix).
+
+        The multi-process executor hands this to worker processes so a
+        persistent pool can re-bind a worker to any row after a re-pack,
+        including rows beyond the current active count.
+        """
+        return self._matrix
+
     def row_view(self, row: int) -> np.ndarray:
         if not 0 <= row < len(self._owners):
             raise SchedulingError(f"bank row {row} is not active")

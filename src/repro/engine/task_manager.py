@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, List
 
 from repro.engine.scheduler import IterationTiming
 
@@ -39,7 +39,9 @@ class TaskManager:
         self.total_samples = 0
         self.total_learning_tasks = 0
 
-    def handle_completion(self, timing: IterationTiming, num_learning_tasks: int) -> CompletionEvent:
+    def handle_completion(
+        self, timing: IterationTiming, num_learning_tasks: int
+    ) -> CompletionEvent:
         """Record the completion of one scheduled iteration."""
         event = CompletionEvent(
             iteration=timing.iteration,

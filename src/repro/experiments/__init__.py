@@ -13,7 +13,12 @@ from repro.experiments.workloads import (
     WORKLOADS,
     workload_for_model,
 )
-from repro.experiments.reporting import format_table, results_to_rows, save_rows
+from repro.experiments.reporting import (
+    format_table,
+    record_bench_summary,
+    results_to_rows,
+    save_rows,
+)
 from repro.experiments.figures import (
     run_table1_model_inventory,
     run_fig2_hardware_efficiency,
@@ -36,6 +41,7 @@ __all__ = [
     "SCALE_PROFILES",
     "workload_for_model",
     "format_table",
+    "record_bench_summary",
     "results_to_rows",
     "save_rows",
     "run_table1_model_inventory",

@@ -18,9 +18,8 @@ The experiments fall into three groups:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.data import create_dataset
 from repro.engine import (
@@ -105,7 +104,9 @@ def run_fig2_hardware_efficiency(
             server = titan_x_server(gpus)
             for gpu in server.gpus:
                 gpu.add_learner_stream()
-            scheduler = TaskScheduler(server=server, profile=profile, policy=SchedulingPolicy.LOCKSTEP)
+            scheduler = TaskScheduler(
+                server=server, profile=profile, policy=SchedulingPolicy.LOCKSTEP
+            )
             batch_per_gpu = max(1, aggregate // gpus)
             for iteration in range(iterations):
                 scheduler.schedule_ssgd_iteration(iteration, batch_per_gpu)

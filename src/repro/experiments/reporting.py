@@ -8,6 +8,10 @@ numbers can be copied into EXPERIMENTS.md.
 from __future__ import annotations
 
 import csv
+import json
+import os
+import platform
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -19,7 +23,9 @@ def results_to_rows(results: Iterable[TrainingResult]) -> List[Dict[str, object]
     return [result.summary() for result in results]
 
 
-def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+def format_table(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
     """Render rows as an aligned plain-text table."""
     rows = list(rows)
     if not rows:
@@ -39,7 +45,9 @@ def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[s
     ]
     header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
     separator = "  ".join("-" * widths[i] for i in range(len(columns)))
-    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered)
+    body = "\n".join(
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    )
     return f"{header}\n{separator}\n{body}"
 
 
@@ -62,4 +70,48 @@ def save_rows(rows: Sequence[Dict[str, object]], path: Path) -> Path:
         writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
         writer.writeheader()
         writer.writerows(rows)
+    return path
+
+
+def record_bench_summary(
+    path: Path, name: str, rows: Sequence[Dict[str, object]]
+) -> Path:
+    """Merge one benchmark's rows into a machine-readable summary JSON.
+
+    The CI benchmark jobs upload the resulting ``BENCH_summary.json`` as a
+    per-run artifact, so the performance trajectory is tracked per commit as
+    structured data rather than living only in job log text.  Each call
+    read-modify-writes the file (keyed by benchmark ``name``), so multiple
+    benches — and multiple pytest invocations within one job — accumulate
+    into a single document.  Values must be JSON-serialisable; numpy scalars
+    are coerced.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    summary: Dict[str, object] = {"schema": 1, "entries": {}}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("entries"), dict):
+                summary = loaded
+        except (OSError, ValueError):
+            pass  # a corrupt summary is rebuilt rather than crashing the bench
+
+    def _coerce(value: object) -> object:
+        if hasattr(value, "item"):  # numpy scalar
+            return value.item()
+        return value
+
+    summary["environment"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    entries = summary["entries"]
+    assert isinstance(entries, dict)
+    entries[name] = [
+        {key: _coerce(value) for key, value in row.items()} for row in rows
+    ]
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     return path

@@ -45,7 +45,9 @@ class Workload:
     model_overrides: Dict[str, float] = field(default_factory=dict)
     baseline_batch_per_gpu: Optional[int] = None
 
-    def scaled_down(self, num_train: int, num_test: int, max_epochs: Optional[int] = None) -> "Workload":
+    def scaled_down(
+        self, num_train: int, num_test: int, max_epochs: Optional[int] = None
+    ) -> "Workload":
         """Return a copy with a smaller dataset (used by the test suite)."""
         overrides = dict(self.dataset_overrides)
         overrides.update({"num_train": num_train, "num_test": num_test})

@@ -40,7 +40,9 @@ def broadcast_time(size_bytes: float, topology: Topology) -> float:
     ) * (1.0 / num_gpus)
 
 
-def hierarchical_reduce_time(size_bytes: float, topology: Topology, replicas_per_gpu: int) -> float:
+def hierarchical_reduce_time(
+    size_bytes: float, topology: Topology, replicas_per_gpu: int
+) -> float:
     """Two-level synchronisation cost: intra-GPU reduction then inter-GPU all-reduce.
 
     Intra-GPU aggregation of ``replicas_per_gpu`` model-sized buffers happens in

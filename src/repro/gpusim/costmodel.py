@@ -121,7 +121,9 @@ def utilisation(profile: TaskCostProfile, batch_size: int) -> float:
     return min(1.0, batch_size / profile.saturation_batch)
 
 
-def contention_factor(profile: TaskCostProfile, batch_size: int, concurrent_learners: int) -> float:
+def contention_factor(
+    profile: TaskCostProfile, batch_size: int, concurrent_learners: int
+) -> float:
     """Slow-down factor when ``concurrent_learners`` tasks share one GPU.
 
     Total SM demand up to 1.0 executes fully in parallel; above 1.0 the GPU

@@ -11,7 +11,7 @@ tasks of iteration N+1 overlapping with synchronisation tasks of iteration N).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SchedulingError

@@ -79,7 +79,9 @@ class MultiGpuServer:
         """Copy one input batch to the GPU using its copy engine (overlaps compute)."""
         gpu = self.gpu(gpu_id)
         duration = input_transfer_duration(profile, batch_size, gpu.spec)
-        record = gpu.copy_engine.schedule(name, duration, dependencies=list(dependencies), kind="copy")
+        record = gpu.copy_engine.schedule(
+            name, duration, dependencies=list(dependencies), kind="copy"
+        )
         self.tracer.record(record)
         return record
 

@@ -42,10 +42,14 @@ class BasicBlock(Module):
         rng: Optional[RandomState] = None,
     ) -> None:
         super().__init__()
-        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
         self.bn1 = BatchNorm2d(out_channels)
         self.relu1 = ReLU()
-        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng
+        )
         self.bn2 = BatchNorm2d(out_channels)
         self.relu2 = ReLU()
         if stride != 1 or in_channels != out_channels:
@@ -80,7 +84,9 @@ class BottleneckBlock(Module):
         self.conv1 = Conv2d(in_channels, base_channels, 1, bias=False, rng=rng)
         self.bn1 = BatchNorm2d(base_channels)
         self.relu1 = ReLU()
-        self.conv2 = Conv2d(base_channels, base_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.conv2 = Conv2d(
+            base_channels, base_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
         self.bn2 = BatchNorm2d(base_channels)
         self.relu2 = ReLU()
         self.conv3 = Conv2d(base_channels, out_channels, 1, bias=False, rng=rng)
@@ -124,10 +130,11 @@ class ResNet(Module):
 
         self.num_classes = num_classes
         self.in_channels = in_channels
-        block_cls = BasicBlock if block_type == "basic" else BottleneckBlock
         channels = [max(4, int(round(c * width_multiplier))) for c in stage_channels]
 
-        stem_channels = channels[0] if block_type == "basic" else max(8, int(round(64 * width_multiplier)))
+        stem_channels = (
+            channels[0] if block_type == "basic" else max(8, int(round(64 * width_multiplier)))
+        )
         if imagenet_stem:
             self.stem = Sequential(
                 Conv2d(in_channels, stem_channels, 7, stride=2, padding=3, bias=False, rng=rng),

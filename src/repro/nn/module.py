@@ -141,16 +141,20 @@ class Module:
         """Whether the parameters are views into an external flat buffer."""
         return getattr(self, "_flat_parameters", None) is not None
 
-    def attach_parameter_storage(self, flat: np.ndarray) -> "Module":
+    def attach_parameter_storage(self, flat: np.ndarray, copy: bool = True) -> "Module":
         """Rebind every parameter to a view into ``flat`` (the replica bank row).
 
         ``flat`` must be a contiguous float32 vector of exactly
-        :meth:`num_parameters` elements.  The module's current parameter values
-        are copied into ``flat`` first, so the rebinding is value-preserving.
-        Afterwards ``flat`` is the single source of truth for the weights:
-        writing into it (e.g. a fused ``(k, P)`` SMA update) is immediately
-        visible to the forward pass, and in-place optimiser updates
-        (``param.data += ...``) write straight into ``flat``.
+        :meth:`num_parameters` elements.  With ``copy=True`` (default) the
+        module's current parameter values are copied into ``flat`` first, so
+        the rebinding is value-preserving.  With ``copy=False`` the values
+        already in ``flat`` are *adopted* instead — nothing is written to the
+        storage — which is what a worker process needs when it re-binds to a
+        re-packed bank row or to the pipelined back buffer whose contents are
+        the truth.  Afterwards ``flat`` is the single source of truth for the
+        weights: writing into it (e.g. a fused ``(k, P)`` SMA update) is
+        immediately visible to the forward pass, and in-place optimiser
+        updates (``param.data += ...``) write straight into ``flat``.
         """
         flat = np.asarray(flat)
         expected = self.num_parameters()
@@ -164,7 +168,8 @@ class Module:
         for param in self.parameters():
             size = param.data.size
             view = flat[offset : offset + size].reshape(param.data.shape)
-            view[...] = param.data
+            if copy:
+                view[...] = param.data
             param.data = view
             offset += size
         object.__setattr__(self, "_flat_parameters", flat)

@@ -9,7 +9,7 @@ lower than the individual replicas' (the property §3.2 relies on).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 

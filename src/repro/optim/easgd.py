@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.optim.sma import validate_step_matrix
 
 
 @dataclass
@@ -109,29 +110,26 @@ class EASGD:
         return corrected
 
     def step_matrix(
-        self, weights: np.ndarray, updates: Optional[np.ndarray] = None
+        self,
+        weights: np.ndarray,
+        updates: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """One fused EA-SGD iteration over a ``(k, P)`` replica bank.
 
         Mirrors :meth:`SMA.step_matrix` minus the momentum term: with
         ``C = ρ (W − z)``, applies ``z ← z + C.sum(0)`` and ``W ← W − (U + C)``
-        in place.  Returns the new central model.
+        in place — or into ``out`` (deferred publish for the pipelined
+        executor: ``weights`` stays untouched as the front buffer, the centre
+        and :attr:`version` advance immediately).  Returns the new central
+        model.
         """
-        if not isinstance(weights, np.ndarray):
-            # np.asarray would copy a list of rows and the in-place update
-            # below would silently mutate the copy, not the caller's replicas.
-            raise ConfigurationError("step_matrix requires an ndarray updated in place")
-        if weights.ndim != 2 or weights.shape[0] != self.num_replicas:
-            raise ConfigurationError(
-                f"expected a ({self.num_replicas}, P) weight matrix, got {weights.shape}"
-            )
-        if updates is not None and updates.shape != weights.shape:
-            raise ConfigurationError(
-                f"update matrix has shape {updates.shape}, expected {weights.shape}"
-            )
+        out = validate_step_matrix(self.num_replicas, weights, updates, out)
         if not self.should_synchronise():
             if updates is not None:
-                weights -= updates
+                np.subtract(weights, updates, out=out)
+            elif out is not weights:
+                np.copyto(out, weights)
             self.iteration += 1
             self.version += 1
             return self.center
@@ -139,7 +137,7 @@ class EASGD:
         self.center = self.center + corrections.sum(axis=0)
         if updates is not None:
             np.add(corrections, updates, out=corrections)
-        weights -= corrections
+        np.subtract(weights, corrections, out=out)
         self.iteration += 1
         self.version += 1
         return self.center

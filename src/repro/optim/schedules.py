@@ -9,7 +9,7 @@ schedule change does not improve accuracy (§3.2) — the trainer consults
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.errors import ConfigurationError
 

@@ -27,6 +27,39 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
+def validate_step_matrix(
+    num_replicas: int,
+    weights: np.ndarray,
+    updates: Optional[np.ndarray],
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    """Shared shape/type checks for the fused ``step_matrix`` updates.
+
+    Used by both :meth:`SMA.step_matrix` and
+    :meth:`repro.optim.easgd.EASGD.step_matrix` so the deferred-publish
+    contract (``out=``) cannot silently diverge between the synchronisers.
+    Returns the resolved output matrix: ``out`` when given, else ``weights``
+    (in-place update).
+    """
+    if not isinstance(weights, np.ndarray):
+        # np.asarray would copy a list of rows and the in-place update
+        # would silently mutate the copy, not the caller's replicas.
+        raise ConfigurationError("step_matrix requires an ndarray updated in place")
+    if weights.ndim != 2 or weights.shape[0] != num_replicas:
+        raise ConfigurationError(
+            f"expected a ({num_replicas}, P) weight matrix, got {weights.shape}"
+        )
+    if updates is not None and updates.shape != weights.shape:
+        raise ConfigurationError(
+            f"update matrix has shape {updates.shape}, expected {weights.shape}"
+        )
+    if out is None:
+        return weights
+    if not isinstance(out, np.ndarray) or out.shape != weights.shape:
+        raise ConfigurationError(f"out matrix must be an ndarray of shape {weights.shape}")
+    return out
+
+
 @dataclass
 class SMAConfig:
     """Hyper-parameters of the SMA synchronisation algorithm.
@@ -118,7 +151,9 @@ class SMA:
                 f"expected {self.num_replicas} corrections, got {len(corrections)}"
             )
         previous = self.center.copy()
-        total_correction = np.sum(np.stack([np.asarray(c, dtype=np.float32) for c in corrections]), axis=0)
+        total_correction = np.sum(
+            np.stack([np.asarray(c, dtype=np.float32) for c in corrections]), axis=0
+        )
         momentum_term = self.config.momentum * (self.center - self._previous_center)
         self.center = self.center + total_correction + momentum_term
         self._previous_center = previous
@@ -151,7 +186,10 @@ class SMA:
         return corrected
 
     def step_matrix(
-        self, weights: np.ndarray, updates: Optional[np.ndarray] = None
+        self,
+        weights: np.ndarray,
+        updates: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """One fused Algorithm-1 iteration over a ``(k, P)`` replica bank.
 
@@ -165,13 +203,23 @@ class SMA:
         ----------
         weights : numpy.ndarray
             The bank's active ``(k, P)`` matrix — row ``j`` *is* replica
-            ``w_j``'s flat weights.  Updated **in place**; a list of rows is
-            rejected because the update would mutate a silent copy.
+            ``w_j``'s flat weights.  Updated **in place** unless ``out`` is
+            given; a list of rows is rejected because the update would mutate
+            a silent copy.
         updates : numpy.ndarray, optional
             ``(k, P)`` pre-scaled local updates ``U`` (row ``j`` holds
             ``η·g_j`` plus any weight-decay term).  When omitted, only the
             correction/centre move is applied.  May be overwritten as
             scratch.
+        out : numpy.ndarray, optional
+            Deferred publish: write the new replica matrix into ``out``
+            instead of mutating ``weights``, leaving ``weights`` untouched as
+            the front buffer that pipelined workers keep reading while the
+            caller later publishes ``out`` with a buffer flip.  The central
+            model and :attr:`version` still advance immediately — ``z`` is
+            owned by this object, not by either buffer — so version-keyed
+            caches (the trainer's materialised central model) stay correct
+            regardless of which buffer is currently published.
 
         Returns
         -------
@@ -182,21 +230,13 @@ class SMA:
             but local updates are still applied and the iteration counter
             advances.
         """
-        if not isinstance(weights, np.ndarray):
-            # np.asarray would copy a list of rows and the in-place update
-            # below would silently mutate the copy, not the caller's replicas.
-            raise ConfigurationError("step_matrix requires an ndarray updated in place")
-        if weights.ndim != 2 or weights.shape[0] != self.num_replicas:
-            raise ConfigurationError(
-                f"expected a ({self.num_replicas}, P) weight matrix, got {weights.shape}"
-            )
-        if updates is not None and updates.shape != weights.shape:
-            raise ConfigurationError(
-                f"update matrix has shape {updates.shape}, expected {weights.shape}"
-            )
+        out = validate_step_matrix(self.num_replicas, weights, updates, out)
+        in_place = out is weights
         if not self.should_synchronise():
             if updates is not None:
-                weights -= updates
+                np.subtract(weights, updates, out=out)
+            elif not in_place:
+                np.copyto(out, weights)
             self.iteration += 1
             self.version += 1
             return self.center
@@ -209,7 +249,9 @@ class SMA:
             )
             self._previous_center = previous
             if updates is not None:
-                weights -= updates
+                np.subtract(weights, updates, out=out)
+            elif not in_place:
+                np.copyto(out, weights)
             self.iteration += 1
             self.version += 1
             return self.center
@@ -222,7 +264,7 @@ class SMA:
         if updates is not None:
             # w ← w − (u + c), matching the trainer's historical association.
             np.add(corrections, updates, out=corrections)
-        weights -= corrections
+        np.subtract(weights, corrections, out=out)
         self.iteration += 1
         self.version += 1
         return self.center

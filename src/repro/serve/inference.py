@@ -155,7 +155,9 @@ class InferenceServer:
         self._maybe_hot_swap()
         self._stop.clear()
         self.stats.started_at = time.perf_counter()
-        self._thread = threading.Thread(target=self._serve_loop, daemon=True, name="inference-server")
+        self._thread = threading.Thread(
+            target=self._serve_loop, daemon=True, name="inference-server"
+        )
         self._thread.start()
         return self
 

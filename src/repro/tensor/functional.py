@@ -9,7 +9,7 @@ on a CPU.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -573,7 +573,9 @@ class _Dropout(Function):
         return (grad * mask,)
 
 
-def dropout(x: Tensor, p: float, training: bool = True, rng: Optional[np.random.Generator] = None) -> Tensor:
+def dropout(
+    x: Tensor, p: float, training: bool = True, rng: Optional[np.random.Generator] = None
+) -> Tensor:
     """Inverted dropout: scales kept activations by ``1/(1-p)`` at training time."""
     if not training or p <= 0.0:
         return x

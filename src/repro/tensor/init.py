@@ -58,7 +58,9 @@ def ones(shape: Tuple[int, ...], rng: Optional[RandomState] = None) -> np.ndarra
     return np.ones(shape, dtype=np.float32)
 
 
-def constant(shape: Tuple[int, ...], value: float, rng: Optional[RandomState] = None) -> np.ndarray:
+def constant(
+    shape: Tuple[int, ...], value: float, rng: Optional[RandomState] = None
+) -> np.ndarray:
     return np.full(shape, value, dtype=np.float32)
 
 
@@ -69,7 +71,10 @@ def normal(
 
 
 def uniform(
-    shape: Tuple[int, ...], low: float = -0.05, high: float = 0.05, rng: Optional[RandomState] = None
+    shape: Tuple[int, ...],
+    low: float = -0.05,
+    high: float = 0.05,
+    rng: Optional[RandomState] = None,
 ) -> np.ndarray:
     return _rng(rng).uniform(low, high, size=shape).astype(np.float32)
 

@@ -13,7 +13,7 @@ carried as plain ``numpy.ndarray`` arguments to the loss functions.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

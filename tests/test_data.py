@@ -92,7 +92,12 @@ class TestDatasets:
 
 class TestCircularBuffer:
     def _batch(self, index=0):
-        return Batch(images=np.zeros((2, 1, 2, 2), dtype=np.float32), labels=np.zeros(2), index=index, epoch=0)
+        return Batch(
+            images=np.zeros((2, 1, 2, 2), dtype=np.float32),
+            labels=np.zeros(2),
+            index=index,
+            epoch=0,
+        )
 
     def test_put_get_release_cycle(self):
         buffer = CircularBatchBuffer(2)
@@ -166,7 +171,12 @@ class TestPreProcessorAndPipeline:
 
 class TestSharding:
     def test_partition_covers_all_samples(self):
-        batch = Batch(images=np.arange(40, dtype=np.float32).reshape(10, 1, 2, 2), labels=np.arange(10), index=0, epoch=0)
+        batch = Batch(
+            images=np.arange(40, dtype=np.float32).reshape(10, 1, 2, 2),
+            labels=np.arange(10),
+            index=0,
+            epoch=0,
+        )
         shards = partition_batch(batch, 4)
         assert sum(s.size for s in shards) == 10
         assert max(s.size for s in shards) - min(s.size for s in shards) <= 1
@@ -174,7 +184,9 @@ class TestSharding:
         np.testing.assert_array_equal(np.sort(recombined), np.arange(10))
 
     def test_partition_too_small_batch_raises(self):
-        batch = Batch(images=np.zeros((2, 1, 1, 1), dtype=np.float32), labels=np.zeros(2), index=0, epoch=0)
+        batch = Batch(
+            images=np.zeros((2, 1, 1, 1), dtype=np.float32), labels=np.zeros(2), index=0, epoch=0
+        )
         with pytest.raises(DataError):
             partition_batch(batch, 3)
 

@@ -9,7 +9,6 @@ from repro.engine import (
     AutoTuner,
     AutoTunerDecision,
     EpochRecord,
-    MemoryPlan,
     ModelReplica,
     OperatorSpec,
     ReplicaPool,
@@ -108,7 +107,9 @@ class TestTaskManager:
     def test_throughput_accumulates(self):
         manager = TaskManager(window=4)
         for i in range(5):
-            manager.handle_completion(self._timing(i, end=(i + 1) * 1.0, samples=100, duration=1.0), 2)
+            manager.handle_completion(
+                self._timing(i, end=(i + 1) * 1.0, samples=100, duration=1.0), 2
+            )
         assert manager.cumulative_throughput() == pytest.approx(100.0)
         assert manager.recent_throughput() == pytest.approx(100.0)
         assert manager.total_learning_tasks == 10

@@ -146,7 +146,9 @@ class TestIterationScheduling:
 
 class TestSsgdScheduling:
     def test_ssgd_iteration_has_barrier_semantics(self):
-        server, scheduler, _ = _build(num_gpus=4, replicas_per_gpu=1, policy=SchedulingPolicy.LOCKSTEP)
+        server, scheduler, _ = _build(
+            num_gpus=4, replicas_per_gpu=1, policy=SchedulingPolicy.LOCKSTEP
+        )
         first = scheduler.schedule_ssgd_iteration(0, batch_per_gpu=32)
         second = scheduler.schedule_ssgd_iteration(1, batch_per_gpu=32)
         assert second.start >= first.end - 1e-12

@@ -263,8 +263,8 @@ class TestProcessExecution:
             # Fresh epoch so the surviving worker has batches and reports fine;
             # the killed one simply never answers.
             executor.begin_epoch(1)
-            pool._processes[0].terminate()
-            pool._processes[0].join(timeout=10.0)
+            pool._handles[0].process.terminate()
+            pool._handles[0].process.join(timeout=10.0)
             with pytest.raises(SchedulingError, match="died without reporting"):
                 pool.step()
         finally:

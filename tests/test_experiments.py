@@ -8,7 +8,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
-    SCALE_PROFILES,
     WORKLOADS,
     format_table,
     run_ablation_memory_plan,

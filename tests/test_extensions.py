@@ -40,7 +40,9 @@ class TestASGD:
 
     def test_asgd_converges_without_staleness(self):
         target = np.full(4, 2.0, dtype=np.float32)
-        asgd = ASGD(np.zeros(4, dtype=np.float32), 1, learning_rate=0.2, staleness=StalenessModel(1, 0.0))
+        asgd = ASGD(
+            np.zeros(4, dtype=np.float32), 1, learning_rate=0.2, staleness=StalenessModel(1, 0.0)
+        )
         for _ in range(100):
             snapshot = asgd.snapshot_for_worker()
             asgd.apply_gradient(self._quadratic_gradient(snapshot, target))

@@ -73,7 +73,9 @@ class TestCostModel:
     def test_input_transfer_scales_with_batch(self):
         profile = cost_profile_for_model("resnet50")
         spec = GpuSpec()
-        assert input_transfer_duration(profile, 64, spec) > input_transfer_duration(profile, 8, spec)
+        assert input_transfer_duration(profile, 64, spec) > input_transfer_duration(
+            profile, 8, spec
+        )
 
     def test_invalid_batch_raises(self):
         profile = cost_profile_for_model("resnet32")

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data.batching import Batch, CircularBatchBuffer
@@ -212,10 +211,14 @@ class TestSimulatorProperties:
 
     @SETTINGS
     @given(
-        throughputs=st.lists(st.floats(min_value=1.0, max_value=1e6, allow_nan=False), min_size=1, max_size=30),
+        throughputs=st.lists(
+            st.floats(min_value=1.0, max_value=1e6, allow_nan=False), min_size=1, max_size=30
+        ),
         max_learners=st.integers(1, 8),
     )
-    def test_autotuner_respects_bounds_for_any_throughput_sequence(self, throughputs, max_learners):
+    def test_autotuner_respects_bounds_for_any_throughput_sequence(
+        self, throughputs, max_learners
+    ):
         tuner = AutoTuner(tolerance=0.05, max_learners=max_learners, min_learners=1)
         for value in throughputs:
             tuner.observe(value)

@@ -56,8 +56,12 @@ class TestSSGDTrainer:
         assert result.metrics.best_accuracy() > 0.8
 
     def test_simulated_time_decreases_with_more_gpus_for_scaled_batch(self):
-        slow = SSGDTrainer(_ssgd_config(num_gpus=1, batch_size=32, target_accuracy=None, max_epochs=2)).train()
-        fast = SSGDTrainer(_ssgd_config(num_gpus=4, batch_size=128, target_accuracy=None, max_epochs=2)).train()
+        slow = SSGDTrainer(
+            _ssgd_config(num_gpus=1, batch_size=32, target_accuracy=None, max_epochs=2)
+        ).train()
+        fast = SSGDTrainer(
+            _ssgd_config(num_gpus=4, batch_size=128, target_accuracy=None, max_epochs=2)
+        ).train()
         assert fast.metrics.records[-1].sim_time < slow.metrics.records[-1].sim_time
 
     def test_aggregate_batch_smaller_than_gpus_rejected(self):
