@@ -117,7 +117,7 @@ def _release_segment(segment: shared_memory.SharedMemory) -> None:
 
 
 class SharedMatrix:
-    """A ``(rows, cols)`` float32 matrix in ``multiprocessing`` shared memory.
+    """A ``(rows, cols)`` matrix in ``multiprocessing`` shared memory.
 
     The creating (parent) process owns the segment: forked workers inherit
     the mapping and see every write immediately, in both directions.  The
@@ -129,15 +129,20 @@ class SharedMatrix:
     rows, cols : int
         Matrix shape.  A zero-sized matrix still allocates a 1-byte segment
         (POSIX shared memory cannot be empty).
+    dtype : numpy dtype, default float32
+        Element type.  Weight/gradient matrices use the default; the serving
+        plane's evaluator slot ring keeps its claim-protocol state in an
+        ``int64`` matrix.
     """
 
-    def __init__(self, rows: int, cols: int) -> None:
+    def __init__(self, rows: int, cols: int, dtype=np.float32) -> None:
         if rows < 0 or cols < 0:
             raise SchedulingError("shared matrix needs non-negative dimensions")
-        nbytes = max(1, rows * cols * np.dtype(np.float32).itemsize)
+        dtype = np.dtype(dtype)
+        nbytes = max(1, rows * cols * dtype.itemsize)
         self._segment = shared_memory.SharedMemory(create=True, size=nbytes)
-        self.array = np.ndarray((rows, cols), dtype=np.float32, buffer=self._segment.buf)
-        self.array[...] = 0.0
+        self.array = np.ndarray((rows, cols), dtype=dtype, buffer=self._segment.buf)
+        self.array[...] = 0
         self._finalizer = weakref.finalize(self, _release_segment, self._segment)
 
     @property
@@ -297,15 +302,97 @@ def _worker_main(state: _WorkerState) -> None:
 
 
 @dataclass
-class _WorkerHandle:
+class _ProcessHandle:
     """Parent-side bookkeeping for one live worker process."""
 
     process: Any
-    commands: Any  # multiprocessing.SimpleQueue
-    learner: Learner
+    commands: Any = None  # per-worker command queue (None: the pool wakes workers another way)
 
 
-class WorkerPool:
+class ForkedWorkerPool:
+    """Fork/result/stop machinery shared by persistent worker pools.
+
+    Concrete pools differ in how work reaches the workers — the learner
+    :class:`WorkerPool` broadcasts commands over per-worker queues, while the
+    serving plane's :class:`repro.serve.pool.EvaluatorPool` publishes
+    checkpoints into a shared-memory slot ring its workers claim — but they
+    share everything else: one ``fork`` start context, one common results
+    queue drained with dead-worker detection (:func:`wait_for_result`), and
+    the stop/join/terminate shutdown protocol.  Subclasses append
+    :class:`_ProcessHandle` (or a subclass of it) entries to ``_handles`` for
+    every worker they :meth:`_fork`.
+    """
+
+    def __init__(self) -> None:
+        self._ctx = _fork_context()
+        # A full Queue (not SimpleQueue) so result waits can poll with a
+        # timeout and notice dead workers instead of blocking forever.
+        self._results = self._ctx.Queue()
+        self._handles: List[Any] = []
+        self._stopped = False
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._handles)
+
+    def _processes(self) -> List[Any]:
+        return [handle.process for handle in self._handles]
+
+    def _fork(self, target, state, name: str):
+        """Start one daemonised worker process running ``target(state)``."""
+        process = self._ctx.Process(target=target, args=(state,), daemon=True, name=name)
+        process.start()
+        return process
+
+    def _wait_result(self, deadline: float, what: str):
+        """One result payload, failing fast when a worker process died."""
+        return wait_for_result(self._results, self._processes(), deadline, what=what)
+
+    def _request_stop(self) -> None:
+        """Hook: wake workers that do not block on a per-worker command queue."""
+
+    def _stop_worker(self, handle) -> None:
+        if handle.commands is not None:
+            try:
+                handle.commands.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue already gone
+                pass
+        handle.process.join(timeout=10.0)
+        if handle.process.is_alive():  # pragma: no cover - stuck worker
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+        if handle.commands is not None:
+            handle.commands.close()
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def stop(self) -> None:
+        """Terminate all workers (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._request_stop()
+        for handle in self._handles:
+            self._stop_worker(handle)
+        self._results.close()
+
+    def is_alive(self) -> bool:
+        return not self._stopped and all(h.process.is_alive() for h in self._handles)
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.stop()
+        except Exception:
+            pass
+
+
+@dataclass
+class _WorkerHandle(_ProcessHandle):
+    """A :class:`_ProcessHandle` plus the learner the worker computes for."""
+
+    learner: Optional[Learner] = None
+
+
+class WorkerPool(ForkedWorkerPool):
     """One forked worker process per learner, fed by per-worker shard streams.
 
     The pool is *persistent*: an auto-tuner resize calls :meth:`resize`, which
@@ -357,21 +444,12 @@ class WorkerPool:
                 raise SchedulingError(
                     f"shared matrix has {matrix.shape[0]} rows for {len(learners)} learners"
                 )
-        self._ctx = _fork_context()
+        super().__init__()
         self._weight_matrices = list(weight_matrices)
         self._update_matrices = list(update_matrices)
-        # A full Queue (not SimpleQueue) so _collect can poll with a timeout
-        # and notice dead workers instead of blocking forever.
-        self._results = self._ctx.Queue()
-        self._handles: List[_WorkerHandle] = []
-        self._stopped = False
         self._inflight = False
         for index, (learner, stream) in enumerate(zip(learners, streams)):
             self._handles.append(self._spawn(index, learner, stream, epoch_state))
-
-    @property
-    def num_workers(self) -> int:
-        return len(self._handles)
 
     @property
     def learners(self) -> List[Learner]:
@@ -399,13 +477,9 @@ class WorkerPool:
             order=None if epoch_state is None else epoch_state[1],
             offset=0 if epoch_state is None else epoch_state[2],
         )
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(state,),
-            daemon=True,
-            name=f"learner-worker-{learner.learner_id}",
+        process = self._fork(
+            _worker_main, state, name=f"learner-worker-{learner.learner_id}"
         )
-        process.start()
         return _WorkerHandle(process=process, commands=commands, learner=learner)
 
     # -- command protocol ----------------------------------------------------------------
@@ -417,11 +491,8 @@ class WorkerPool:
         payloads: List[Any] = [None] * self.num_workers
         received = 0
         deadline = time.monotonic() + _RESULT_TIMEOUT_S
-        processes = [handle.process for handle in self._handles]
         while received < self.num_workers:
-            index, payload, error = wait_for_result(
-                self._results,
-                processes,
+            index, payload, error = self._wait_result(
                 deadline,
                 what=f"{self.num_workers - received} of {self.num_workers} worker results",
             )
@@ -530,36 +601,6 @@ class WorkerPool:
         for index, learner, stream in spawned:
             new_handles[index] = self._spawn(index, learner, stream, (epoch, order, offset))
         self._handles = new_handles
-
-    def _stop_worker(self, handle: _WorkerHandle) -> None:
-        try:
-            handle.commands.put(("stop",))
-        except (OSError, ValueError):  # pragma: no cover - queue already gone
-            pass
-        handle.process.join(timeout=10.0)
-        if handle.process.is_alive():  # pragma: no cover - stuck worker
-            handle.process.terminate()
-            handle.process.join(timeout=5.0)
-        handle.commands.close()
-
-    # -- lifecycle -----------------------------------------------------------------------
-    def stop(self) -> None:
-        """Terminate all workers (idempotent)."""
-        if self._stopped:
-            return
-        self._stopped = True
-        for handle in self._handles:
-            self._stop_worker(handle)
-        self._results.close()
-
-    def is_alive(self) -> bool:
-        return not self._stopped and all(h.process.is_alive() for h in self._handles)
-
-    def __del__(self) -> None:  # pragma: no cover - GC backstop
-        try:
-            self.stop()
-        except Exception:
-            pass
 
 
 class ProcessExecutor:

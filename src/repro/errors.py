@@ -35,3 +35,10 @@ class DataError(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint could not be saved, loaded or found (bad path, missing
     metadata key, or a version that was never published / already evicted)."""
+
+
+class AdmissionError(ReproError):
+    """A serving request was refused admission or abandoned: the inference
+    server's load-shedding policies rejected it at a full queue, shed it as
+    the oldest queued request, or its per-request deadline passed before a
+    forward pass could start."""

@@ -85,6 +85,14 @@ def record_bench_summary(
     benches — and multiple pytest invocations within one job — accumulate
     into a single document.  Values must be JSON-serialisable; numpy scalars
     are coerced.
+
+    The write is atomic (write-to-temp + :func:`os.replace` in the same
+    directory), so a reader — or another benchmark process merging its own
+    rows concurrently — never observes a partially written file.  Concurrent
+    merges remain last-writer-wins per *file* (an entry written in between
+    can be overwritten by a process that read before it), but the document
+    itself is always parseable, which is what the regression gate and the CI
+    artifact upload depend on.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -113,5 +121,9 @@ def record_bench_summary(
     entries[name] = [
         {key: _coerce(value) for key, value in row.items()} for row in rows
     ]
-    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    # Atomic publish: temp file in the same directory (os.replace cannot cross
+    # filesystems), then rename over the target.
+    temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    temp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    os.replace(temp, path)
     return path

@@ -9,24 +9,35 @@ the *transactional write path* (training), the same split HTAP systems make:
   (parameters + averaged batch-norm buffers + metadata) in a bounded
   :class:`CheckpointStore` ring with optional ``.npz`` spill,
 * :mod:`repro.serve.evaluation` — :class:`EvaluationService`, a deferred
-  queue (serial) or dedicated worker process over shared memory (process)
-  that batch-evaluates queued checkpoints off the training loop and feeds
-  accuracies back into the training metrics, with a ``drain()`` barrier that
-  keeps fixed-seed results bit-identical to inline evaluation,
+  queue (serial) or a pool of evaluator worker processes over shared memory
+  (process) that batch-evaluates queued checkpoints off the training loop and
+  feeds accuracies back into the training metrics, with a ``drain()`` barrier
+  that keeps fixed-seed results bit-identical to inline evaluation,
+* :mod:`repro.serve.pool` — the scaling layer: :class:`EvaluatorPool` (N
+  forked workers claiming checkpoints from one shared-memory slot ring) and
+  :class:`BatchedEvaluator` (k checkpoint versions banked into a ``(k, P)``
+  replica bank and evaluated in one fused forward — the serving-side analogue
+  of ``SMA.step_matrix``),
 * :mod:`repro.serve.inference` — :class:`InferenceServer`, a micro-batching
-  front-end with max-batch/max-latency coalescing knobs and between-batch
-  hot swap to the newest published checkpoint.
+  front-end with max-batch/max-latency coalescing knobs, between-batch hot
+  swap to the newest published checkpoint, and request admission control
+  (bounded queue with reject / shed-oldest / degrade policies, per-request
+  deadlines, :class:`ServeCounters` observability).
 """
 
 from repro.serve.checkpoint import Checkpoint, CheckpointStore
 from repro.serve.evaluation import EvaluationService, EvaluationTicket
-from repro.serve.inference import InferenceServer, ServingStats
+from repro.serve.inference import InferenceServer, ServeCounters, ServingStats
+from repro.serve.pool import BatchedEvaluator, EvaluatorPool
 
 __all__ = [
+    "BatchedEvaluator",
     "Checkpoint",
     "CheckpointStore",
     "EvaluationService",
     "EvaluationTicket",
+    "EvaluatorPool",
     "InferenceServer",
+    "ServeCounters",
     "ServingStats",
 ]

@@ -13,47 +13,34 @@ Two execution modes, mirroring ``CrossbowConfig.execution``:
 * ``"serial"`` — a deferred queue.  Submissions cost one snapshot copy;
   the actual forward passes run at :meth:`drain` (or explicit
   :meth:`poll(block=True) <poll>`), i.e. after training, not during it.
-* ``"process"`` — a dedicated evaluator worker process.  Checkpoint parameter
-  vectors travel through a ring of shared-memory slots
-  (:class:`~repro.engine.executor.SharedMatrix` — the same zero-copy
-  machinery the multi-process learner executor uses), so publishing costs one
-  ``(P,)`` block copy into shared memory; the forward passes overlap training
-  in the worker.
+* ``"process"`` — an :class:`~repro.serve.pool.EvaluatorPool` of ``workers``
+  forked evaluator processes.  Checkpoint parameter vectors (and flattened
+  batch-norm buffers) travel through a shared-memory slot ring the workers
+  claim concurrently, so publishing costs one ``(P,)`` block copy into shared
+  memory; the forward passes overlap training in the workers.  ``workers=1``
+  reproduces the PR-3 single forked evaluator exactly.
 
 Either way the arithmetic is :func:`repro.nn.metrics.evaluate_top1` on the
 checkpoint's exact parameters and averaged batch-norm buffers — the same code
 path as inline ``CrossbowTrainer.evaluate()`` — so after a :meth:`drain`
 barrier a fixed-seed run reports bit-identical accuracies to inline
-evaluation.
+evaluation, for any worker count (only completion *order* varies with N).
 """
 
 from __future__ import annotations
 
-import queue as queue_module
-import time
-import traceback
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Dict, List, Optional
 
-import numpy as np
-
-from repro.engine.executor import (
-    SharedMatrix,
-    _fork_context,
-    process_execution_supported,
-    wait_for_result,
-)
+from repro.engine.executor import process_execution_supported
 from repro.errors import ConfigurationError, SchedulingError
 from repro.nn.metrics import evaluate_top1
 from repro.nn.module import Module
 from repro.serve.checkpoint import Checkpoint
+from repro.serve.pool import EvaluatorPool
 from repro.utils.logging import get_logger
 
 logger = get_logger("serve.evaluation")
-
-#: seconds the parent waits for one evaluation result before declaring the
-#: evaluator dead (large models on slow CI hosts still finish well inside this)
-_RESULT_TIMEOUT_S = 300.0
 
 
 @dataclass
@@ -63,52 +50,7 @@ class EvaluationTicket:
     ticket: int
     epoch: int
     version: Optional[int]
-    slot: Optional[int] = None  # shared-memory slot (process mode only)
     checkpoint: Optional[Checkpoint] = None  # deferred snapshot (serial mode only)
-
-
-@dataclass
-class _EvaluatorState:
-    """Everything the evaluator worker needs; inherited via fork, never pickled."""
-
-    model: Module
-    pipeline: Any  # BatchPipeline (duck-typed: .test_batches(batch_size))
-    batch_size: int
-    slots: np.ndarray  # (num_slots, P) shared parameter ring
-    commands: Any  # multiprocessing.SimpleQueue
-    results: Any  # multiprocessing.Queue
-
-
-def _evaluator_main(state: _EvaluatorState) -> None:
-    """Worker body: evaluate checkpoints from shared slots until told to stop.
-
-    Command protocol: ``("eval", ticket, slot, buffers)`` loads the parameter
-    vector from shared slot ``slot`` plus the (queue-shipped, small) averaged
-    buffers into the worker's private model and replies ``(ticket, accuracy,
-    None)``; ``("stop",)`` exits.  Any exception is forwarded as ``(ticket,
-    None, traceback)`` so the parent fails fast instead of hanging.
-    """
-    model = state.model
-    target_buffers = dict(model.named_buffers())
-    while True:
-        command = state.commands.get()
-        op = command[0]
-        if op == "stop":
-            return
-        ticket = command[1]
-        try:
-            if op != "eval":
-                raise SchedulingError(f"unknown evaluator command {op!r}")
-            _, _, slot, buffers = command
-            model.load_parameter_vector(state.slots[slot])
-            for name, value in buffers.items():
-                target_buffers[name][...] = value
-            accuracy = evaluate_top1(
-                model, state.pipeline.test_batches(batch_size=state.batch_size)
-            )
-            state.results.put((ticket, accuracy, None))
-        except Exception:  # noqa: BLE001 - forwarded to the parent verbatim
-            state.results.put((ticket, None, traceback.format_exc()))
 
 
 class EvaluationService:
@@ -124,14 +66,18 @@ class EvaluationService:
     Parameters
     ----------
     execution : str
-        ``"serial"`` (deferred queue) or ``"process"`` (evaluator worker over
-        shared memory; requires the POSIX ``fork`` start method).
+        ``"serial"`` (deferred queue) or ``"process"`` (evaluator worker pool
+        over shared memory; requires the POSIX ``fork`` start method).
     batch_size : int
         Evaluation batch size, matching inline ``evaluate()``'s default.
     num_slots : int
         Process mode: shared-memory slots for in-flight parameter vectors.
         Publishing more than ``num_slots`` unresolved checkpoints applies
-        backpressure (the submitter blocks on the oldest result).
+        backpressure (the submitter blocks until a worker claims a slot).
+    workers : int
+        Process mode: evaluator worker processes sharing the slot ring.
+        More workers raise evaluation throughput (several checkpoints in
+        flight at once) without changing any resolved accuracy.
 
     Notes
     -----
@@ -145,6 +91,7 @@ class EvaluationService:
         execution: str = "serial",
         batch_size: int = 256,
         num_slots: int = 4,
+        workers: int = 1,
     ) -> None:
         if execution not in ("serial", "process"):
             raise ConfigurationError("evaluation execution must be 'serial' or 'process'")
@@ -155,9 +102,17 @@ class EvaluationService:
             )
         if num_slots < 1:
             raise ConfigurationError("evaluation service needs at least one shared slot")
+        if workers < 1:
+            raise ConfigurationError("evaluation service needs at least one worker")
+        if execution == "serial" and workers != 1:
+            raise ConfigurationError(
+                "workers only applies to execution='process' (serial mode defers "
+                "evaluations to drain() on the submitting thread)"
+            )
         self.execution = execution
         self.batch_size = batch_size
         self.num_slots = num_slots
+        self.workers = workers
         self._model: Optional[Module] = None
         self._pipeline = None
         self._metrics = None
@@ -166,12 +121,8 @@ class EvaluationService:
         self.accuracies: Dict[int, float] = {}  # ticket -> resolved accuracy
         self._epoch_accuracies: Dict[int, float] = {}  # epoch -> resolved accuracy
         self.evaluations_completed = 0
-        # process-mode machinery, spawned lazily on first submit
-        self._shared: Optional[SharedMatrix] = None
-        self._commands = None
-        self._results = None
-        self._process = None
-        self._free_slots: List[int] = []
+        # process-mode pool, spawned lazily on first submit
+        self._pool: Optional[EvaluatorPool] = None
         self._closed = False
 
     # -- wiring ------------------------------------------------------------------------
@@ -182,8 +133,8 @@ class EvaluationService:
         parameters/buffers from each checkpoint, so any same-architecture
         module works.  Called by ``CrossbowTrainer.attach_evaluation_service``.
         """
-        if self._process is not None:
-            raise ConfigurationError("cannot rebind a service whose worker is running")
+        if self._pool is not None:
+            raise ConfigurationError("cannot rebind a service whose worker pool is running")
         self._model = model_template.clone()
         self._pipeline = pipeline
         self._metrics = metrics
@@ -197,9 +148,10 @@ class EvaluationService:
     def submit(self, checkpoint: Checkpoint, epoch: Optional[int] = None) -> int:
         """Queue one checkpoint for off-path evaluation; returns its ticket.
 
-        Serial mode defers the snapshot; process mode copies the parameter
-        vector into a free shared slot (blocking on the oldest in-flight
-        result when all slots are busy) and wakes the evaluator worker.
+        Serial mode defers the snapshot; process mode publishes the parameter
+        vector into the pool's shared slot ring (blocking for backpressure
+        when every slot is occupied) and one of the evaluator workers claims
+        it.
         """
         if self._closed:
             raise ConfigurationError("evaluation service is closed")
@@ -217,44 +169,38 @@ class EvaluationService:
             ticket.checkpoint = checkpoint
             self._queue.append(ticket)
             return ticket.ticket
-        self._ensure_worker(checkpoint.num_parameters())
-        while not self._free_slots:
-            # Backpressure: all slots hold unread snapshots; absorb results
-            # until one frees (keeps publishing O(slots) memory, not O(epochs)).
-            self._absorb(block=True)
-        slot = self._free_slots.pop()
-        assert self._shared is not None
-        self._shared.array[slot, :] = checkpoint.parameters
-        ticket.slot = slot
+        self._ensure_pool()
+        assert self._pool is not None
+        # Publish first: a failed submit (bad checkpoint, dead worker) must
+        # not orphan a ticket that no pool result will ever resolve.
+        self._pool.submit(ticket.ticket, checkpoint)
         self._queue.append(ticket)
-        self._commands.put(("eval", ticket.ticket, slot, checkpoint.buffers))
         return ticket.ticket
 
-    def _ensure_worker(self, num_parameters: int) -> None:
-        if self._process is not None and self._process.is_alive():
-            if self._shared is not None and self._shared.array.shape[1] != num_parameters:
-                raise ConfigurationError(
-                    f"checkpoint has {num_parameters} parameters but the evaluator "
-                    f"was spawned for {self._shared.array.shape[1]}"
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            if self._pool.is_alive():
+                return
+            # The pool died out from under us.  Release its shared segments,
+            # and refuse to continue silently while tickets that only the
+            # dead pool could resolve are still outstanding — a respawn would
+            # leave drain() waiting on results that can never arrive.
+            self._pool.close()
+            self._pool = None
+            if self._queue:
+                lost = [ticket.ticket for ticket in self._queue]
+                self._queue.clear()
+                raise SchedulingError(
+                    f"evaluator pool died with ticket(s) {lost} unresolved; "
+                    "their accuracies are lost — resubmit the checkpoints"
                 )
-            return
-        ctx = _fork_context()
-        self._shared = SharedMatrix(self.num_slots, num_parameters)
-        self._free_slots = list(range(self.num_slots))
-        self._commands = ctx.SimpleQueue()
-        self._results = ctx.Queue()
-        state = _EvaluatorState(
-            model=self._model,
-            pipeline=self._pipeline,
+        self._pool = EvaluatorPool(
+            self._model,
+            self._pipeline,
+            workers=self.workers,
+            num_slots=self.num_slots,
             batch_size=self.batch_size,
-            slots=self._shared.array,
-            commands=self._commands,
-            results=self._results,
         )
-        self._process = ctx.Process(
-            target=_evaluator_main, args=(state,), daemon=True, name="evaluator-worker"
-        )
-        self._process.start()
 
     # -- resolution --------------------------------------------------------------------
     def poll(self) -> int:
@@ -295,29 +241,22 @@ class EvaluationService:
         }
 
     def _absorb(self, block: bool) -> int:
-        """Drain the worker's result queue; optionally block for one result."""
-        if self._results is None or not self._queue:
+        """Apply results the pool has finished; optionally block for one."""
+        if self._pool is None or not self._queue:
             return 0
-        resolved = 0
+        if block and not self._pool.in_flight and not self._pool.undelivered:
+            # Tickets outstanding with nothing in flight or buffered can only
+            # mean the pool lost them (e.g. their evaluations failed); fail
+            # loudly rather than letting drain() spin or stall forever.
+            raise SchedulingError(
+                f"{len(self._queue)} ticket(s) outstanding but the evaluator "
+                "pool reports nothing in flight"
+            )
         by_ticket = {ticket.ticket: ticket for ticket in self._queue}
-        while self._queue:
-            if block and resolved == 0:
-                deadline = time.monotonic() + _RESULT_TIMEOUT_S
-                payload = wait_for_result(
-                    self._results, [self._process], deadline, what="an evaluation result"
-                )
-            else:
-                try:
-                    payload = self._results.get_nowait()
-                except queue_module.Empty:
-                    break
-            ticket_id, accuracy, error = payload
-            if error is not None:
-                raise SchedulingError(f"evaluator worker failed:\n{error}")
+        resolved = 0
+        for ticket_id, accuracy in self._pool.collect(block=block):
             ticket = by_ticket.pop(ticket_id)
             self._queue.remove(ticket)
-            if ticket.slot is not None:
-                self._free_slots.append(ticket.slot)
             self._resolve(ticket, accuracy)
             resolved += 1
         return resolved
@@ -340,25 +279,15 @@ class EvaluationService:
 
     # -- lifecycle ---------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the evaluator worker and release shared memory (idempotent).
+        """Stop the evaluator pool and release shared memory (idempotent).
 
         Does **not** drain first: call :meth:`drain` before closing when the
         queued accuracies matter.
         """
         self._closed = True
-        if self._process is not None:
-            try:
-                self._commands.put(("stop",))
-            except (OSError, ValueError):  # pragma: no cover - queue already gone
-                pass
-            self._process.join(timeout=10.0)
-            if self._process.is_alive():  # pragma: no cover - stuck worker
-                self._process.terminate()
-                self._process.join(timeout=5.0)
-            self._process = None
-        if self._shared is not None:
-            self._shared.close()
-            self._shared = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         self._queue.clear()
 
     def __enter__(self) -> "EvaluationService":

@@ -14,9 +14,26 @@ of Crossbow's "many small batches, fully utilised hardware" premise:
   :class:`~repro.serve.checkpoint.Checkpoint` in the store, so a training run
   publishing checkpoints upgrades the served model with zero downtime.
 
-Latency percentiles and throughput are tracked per request and reported by
-:meth:`InferenceServer.stats`; ``benchmarks/bench_serving.py`` drives a load
-generator against the two knobs.
+Under overload a queue without bounds turns every request slow instead of
+keeping most requests fast, so admission control guards the front door:
+
+* ``admission_policy="reject"`` fails *new* requests once ``max_queue_depth``
+  requests are waiting (callers see :class:`~repro.errors.AdmissionError` on
+  their future immediately — fail fast, queue stays short);
+* ``"shed-oldest"`` admits the new request but drops the *oldest* queued one
+  (freshest-first under burst, bounded staleness of served requests);
+* ``"degrade"`` admits everything but switches the serving loop to maximum
+  throughput while the backlog exceeds the bound: no coalescing wait and no
+  checkpoint hot-swap (requests may be served by a *stale* checkpoint until
+  pressure subsides — degraded freshness instead of dropped requests);
+* per-request deadlines (``deadline_ms``) drop requests whose latency budget
+  passed before their forward pass started.
+
+Every admission decision is counted in :class:`ServeCounters` (accepted /
+rejected / shed / deadline-missed, queue-depth percentiles), the serving-side
+mirror of the trainer's ``SyncCounters``.  Latency percentiles and throughput
+are tracked per request and reported by :meth:`InferenceServer.stats`;
+``benchmarks/bench_serving.py`` drives a load generator against the knobs.
 """
 
 from __future__ import annotations
@@ -26,12 +43,11 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from queue import Empty, Queue
 from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import AdmissionError, ConfigurationError
 from repro.nn.module import Module
 from repro.serve.checkpoint import Checkpoint, CheckpointStore
 from repro.tensor.tensor import Tensor, no_grad
@@ -39,12 +55,15 @@ from repro.utils.logging import get_logger
 
 logger = get_logger("serve.inference")
 
+_ADMISSION_POLICIES = ("none", "reject", "shed-oldest", "degrade")
+
 
 @dataclass
 class _Request:
     images: np.ndarray
     future: Future
     enqueued_at: float
+    deadline: Optional[float] = None  # perf_counter instant; None = no deadline
 
     @property
     def size(self) -> int:
@@ -92,6 +111,44 @@ class ServingStats:
         }
 
 
+@dataclass
+class ServeCounters:
+    """Admission-control observability, mirroring the trainer's ``SyncCounters``.
+
+    ``accepted``/``rejected``/``shed``/``deadline_missed`` partition every
+    submitted request's fate at the admission boundary (a request is counted
+    ``accepted`` when enqueued and additionally ``shed``/``deadline_missed``
+    if it is later dropped unserved).  ``degraded_batches`` counts forward
+    passes run in degrade mode — no coalescing wait, no hot-swap — i.e. how
+    often the server chose staleness over shedding.  ``queue_depths`` samples
+    the post-admission queue depth per accepted request (rolling window) for
+    the p50/p99 depth percentiles in :meth:`summary`.
+    """
+
+    accepted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    deadline_missed: int = 0
+    degraded_batches: int = 0
+    queue_depths: Deque[int] = field(default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    def record_admission(self, depth: int) -> None:
+        self.accepted += 1
+        self.queue_depths.append(depth)
+
+    def summary(self) -> Dict[str, float]:
+        depths = np.asarray(self.queue_depths, dtype=np.float64)
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "deadline_missed": self.deadline_missed,
+            "degraded_batches": self.degraded_batches,
+            "queue_depth_p50": float(np.percentile(depths, 50)) if depths.size else 0.0,
+            "queue_depth_p99": float(np.percentile(depths, 99)) if depths.size else 0.0,
+        }
+
+
 class InferenceServer:
     """Micro-batching model server fed from a :class:`CheckpointStore`.
 
@@ -113,13 +170,24 @@ class InferenceServer:
     max_latency_ms : float
         How long the oldest queued request may wait for co-batchable company
         before the batch is closed; bounds the latency cost of coalescing.
+    admission_policy : str
+        ``"none"`` (unbounded queue, the pre-admission-control behaviour),
+        ``"reject"``, ``"shed-oldest"`` or ``"degrade"`` — see the module
+        docstring for the semantics of each under overload.
+    max_queue_depth : int, optional
+        Queued-request bound the policy enforces; required (≥ 1) for every
+        policy except ``"none"``.
+    default_deadline_ms : float, optional
+        Deadline applied to requests submitted without an explicit
+        ``deadline_ms``; ``None`` means no deadline.
 
     Notes
     -----
     ``submit`` returns a :class:`concurrent.futures.Future` resolving to the
     logits array for that request's samples; ``predict`` is the blocking
-    convenience wrapper.  Exceptions in the serving loop fail the affected
-    requests' futures, never the server thread silently.
+    convenience wrapper.  Exceptions in the serving loop — and admission
+    refusals — fail the affected requests' futures, never the server thread
+    silently.
     """
 
     def __init__(
@@ -129,19 +197,38 @@ class InferenceServer:
         checkpoint: Optional[Checkpoint] = None,
         max_batch_size: int = 32,
         max_latency_ms: float = 2.0,
+        admission_policy: str = "none",
+        max_queue_depth: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
         if max_latency_ms < 0:
             raise ConfigurationError("max_latency_ms must be >= 0")
+        if admission_policy not in _ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"admission_policy must be one of {_ADMISSION_POLICIES}, "
+                f"got {admission_policy!r}"
+            )
+        if admission_policy != "none" and (max_queue_depth is None or max_queue_depth < 1):
+            raise ConfigurationError(
+                f"admission_policy={admission_policy!r} needs max_queue_depth >= 1"
+            )
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ConfigurationError("default_deadline_ms must be positive")
         self.model = model_template.clone()
         self.model.eval()
         self.store = store
         self.max_batch_size = max_batch_size
         self.max_latency_s = max_latency_ms / 1000.0
+        self.admission_policy = admission_policy
+        self.max_queue_depth = max_queue_depth
+        self.default_deadline_ms = default_deadline_ms
         self.served_version: Optional[int] = None
         self.stats = ServingStats()
-        self._queue: "Queue[_Request]" = Queue()
+        self.counters = ServeCounters()
+        self._pending: Deque[_Request] = deque()
+        self._wakeup = threading.Condition()
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         if checkpoint is not None:
@@ -166,15 +253,19 @@ class InferenceServer:
         if self._thread is None:
             return
         self._stop.set()
+        with self._wakeup:
+            self._wakeup.notify_all()
         self._thread.join(timeout=30.0)
         self._thread = None
         self.stats.finished_at = time.perf_counter()
-        while True:
-            try:
-                request = self._queue.get_nowait()
-            except Empty:
-                break
-            request.future.set_exception(ConfigurationError("inference server stopped"))
+        with self._wakeup:
+            abandoned = list(self._pending)
+            self._pending.clear()
+        for request in abandoned:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    ConfigurationError("inference server stopped")
+                )
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -187,8 +278,15 @@ class InferenceServer:
         return self._thread is not None and self._thread.is_alive()
 
     # -- request path ------------------------------------------------------------------
-    def submit(self, images: np.ndarray) -> Future:
-        """Queue one request (an ``(n, ...)`` sample array); returns a future."""
+    def submit(self, images: np.ndarray, deadline_ms: Optional[float] = None) -> Future:
+        """Queue one request (an ``(n, ...)`` sample array); returns a future.
+
+        ``deadline_ms`` bounds how long the request may wait before its
+        forward pass starts (default: the server's ``default_deadline_ms``);
+        a missed deadline fails the future with
+        :class:`~repro.errors.AdmissionError`, as does a rejection or shed
+        under the configured admission policy.
+        """
         if self._thread is None:
             raise ConfigurationError("start() the inference server before submitting")
         images = np.asarray(images, dtype=np.float32)
@@ -197,52 +295,140 @@ class InferenceServer:
                 f"requests are (n, ...) sample arrays with n >= 1, got shape {images.shape}"
             )
         future: Future = Future()
-        self._queue.put(_Request(images=images, future=future, enqueued_at=time.perf_counter()))
+        now = time.perf_counter()
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        request = _Request(
+            images=images,
+            future=future,
+            enqueued_at=now,
+            deadline=None if deadline_ms is None else now + deadline_ms / 1000.0,
+        )
+        shed: Optional[_Request] = None
+        rejected_depth: Optional[int] = None
+        with self._wakeup:
+            depth = len(self._pending)
+            if (
+                self.admission_policy in ("reject", "shed-oldest")
+                and depth >= self.max_queue_depth
+            ):
+                if self.admission_policy == "reject":
+                    self.counters.rejected += 1
+                    rejected_depth = depth
+                else:
+                    shed = self._pending.popleft()
+                    self.counters.shed += 1
+            if rejected_depth is None:
+                self._pending.append(request)
+                self.counters.record_admission(len(self._pending))
+                self._wakeup.notify()
+        # Futures are failed outside the lock: a done-callback must not run
+        # while the admission lock is held (it could block the serving loop).
+        if rejected_depth is not None:
+            future.set_exception(
+                AdmissionError(
+                    f"request rejected: {rejected_depth} requests queued "
+                    f"(max_queue_depth={self.max_queue_depth})"
+                )
+            )
+            return future
+        if shed is not None and shed.future.set_running_or_notify_cancel():
+            # The guard skips futures the caller already cancelled — setting
+            # an exception on those would raise InvalidStateError out of an
+            # unrelated client's submit().
+            shed.future.set_exception(
+                AdmissionError(
+                    "request shed: a newer request arrived at a full queue "
+                    f"(max_queue_depth={self.max_queue_depth})"
+                )
+            )
         return future
 
-    def predict(self, images: np.ndarray, timeout: Optional[float] = 60.0) -> np.ndarray:
+    def predict(
+        self,
+        images: np.ndarray,
+        timeout: Optional[float] = 60.0,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
         """Blocking convenience wrapper: logits for one request."""
-        return self.submit(images).result(timeout=timeout)
+        return self.submit(images, deadline_ms=deadline_ms).result(timeout=timeout)
+
+    # -- queue internals ---------------------------------------------------------------
+    def _pop(self, timeout: Optional[float]) -> Optional[_Request]:
+        """Pop the oldest queued request, waiting up to ``timeout`` seconds."""
+        with self._wakeup:
+            if not self._pending and timeout:
+                self._wakeup.wait(timeout)
+            if not self._pending:
+                return None
+            return self._pending.popleft()
+
+    def _overloaded(self) -> bool:
+        return (
+            self.admission_policy == "degrade"
+            and len(self._pending) >= self.max_queue_depth
+        )
+
+    def _expired(self, request: _Request) -> bool:
+        """Fail a request whose deadline passed before its batch started."""
+        if request.deadline is None or time.perf_counter() <= request.deadline:
+            return False
+        self.counters.deadline_missed += 1
+        if request.future.set_running_or_notify_cancel():
+            request.future.set_exception(
+                AdmissionError("request deadline passed before a forward pass started")
+            )
+        return True
 
     # -- serving loop ------------------------------------------------------------------
     def _serve_loop(self) -> None:
         # A request that would overflow the current batch is held over to
-        # start the next one (the queue cannot push front).
+        # start the next one (popped requests cannot be pushed back).
         holdover: Optional[_Request] = None
         while not self._stop.is_set():
             if holdover is not None:
                 first, holdover = holdover, None
             else:
-                try:
-                    first = self._queue.get(timeout=0.01)
-                except Empty:
+                first = self._pop(timeout=0.01)
+                if first is None:
                     continue
+            if self._expired(first):
+                continue
             batch = [first]
             total = first.size
             deadline = first.enqueued_at + self.max_latency_s
+            # Under degrade-mode overload the loop stops waiting for company
+            # and stops hot-swapping: ship whatever is queued, right now,
+            # on the checkpoint already loaded (possibly stale).
+            degraded = self._overloaded()
             while total < self.max_batch_size:
-                try:
-                    # Greedy: coalesce everything already queued without
-                    # waiting (continuous batching under sustained load).
-                    request = self._queue.get_nowait()
-                except Empty:
+                # Greedy: coalesce everything already queued without waiting
+                # (continuous batching under sustained load).
+                request = self._pop(timeout=None)
+                if request is None:
+                    if degraded:
+                        break
                     # Queue ran dry below max_batch: wait for stragglers only
                     # while the oldest request still has latency budget.
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0:
                         break
-                    try:
-                        request = self._queue.get(timeout=remaining)
-                    except Empty:
+                    request = self._pop(timeout=remaining)
+                    if request is None:
                         break
+                if self._expired(request):
+                    continue
                 if total + request.size > self.max_batch_size:
                     holdover = request
                     break
                 batch.append(request)
                 total += request.size
-            self._maybe_hot_swap()
+            if degraded:
+                self.counters.degraded_batches += 1
+            else:
+                self._maybe_hot_swap()
             self._run_batch(batch)
-        if holdover is not None:
+        if holdover is not None and holdover.future.set_running_or_notify_cancel():
             holdover.future.set_exception(ConfigurationError("inference server stopped"))
 
     def _run_batch(self, batch: List[_Request]) -> None:

@@ -1,0 +1,616 @@
+"""Multi-worker checkpoint evaluation: the evaluator pool and the batched evaluator.
+
+PR 3's serving plane evaluated checkpoints off the training path, but through
+exactly one forked evaluator — the first bottleneck once a run publishes
+faster than one worker can evaluate.  This module scales that plane two ways,
+both direct applications of the paper's many-replicas-one-bank design:
+
+* :class:`EvaluatorPool` — N forked evaluator workers consuming one shared
+  slot ring concurrently.  The parent publishes checkpoint parameter vectors
+  (and flattened batch-norm buffers) into free shared-memory slots; workers
+  *claim* READY slots through a per-slot state word in shared memory (a
+  claim-protocol scan under a cross-process lock, counted by two semaphores),
+  copy the slot out, free it immediately, and evaluate while the parent
+  refills the ring.  The arithmetic per checkpoint is exactly
+  :func:`repro.nn.metrics.evaluate_top1` on the checkpoint's own parameters
+  and buffers — the same code path as inline evaluation — so accuracies are
+  bit-identical to inline for any worker count; only completion order varies.
+
+* :class:`BatchedEvaluator` — the serving-side analogue of the fused
+  ``SMA.step_matrix``: ``k`` checkpoint versions are loaded into a
+  ``(k, P)`` :class:`~repro.engine.replica.ReplicaBank` (each row attached to
+  a model clone through the standard row-view
+  :meth:`~repro.nn.module.Module.attach_parameter_storage` path) and the test
+  set runs through *all of them in one fused forward*: per ``Linear`` layer
+  the bank columns reshape to a ``(k, out, in)`` weight stack and
+  ``np.matmul`` broadcasts the shared activations across models.  One pass
+  over the data amortises the per-batch Python/framework overhead across the
+  ``k`` versions, exactly as the fused synchronisation amortises it across
+  replicas.
+
+Both pieces reuse the multi-process executor's machinery
+(:class:`~repro.engine.executor.ForkedWorkerPool`,
+:class:`~repro.engine.executor.SharedMatrix`) rather than growing a second
+fork/shutdown protocol.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.executor import ForkedWorkerPool, SharedMatrix, _ProcessHandle
+from repro.engine.replica import ReplicaBank
+from repro.errors import ConfigurationError, SchedulingError
+from repro.nn.layers import Dropout, Flatten, Identity, Linear, ReLU
+from repro.nn.metrics import evaluate_top1
+from repro.nn.module import Module, Sequential
+from repro.serve.checkpoint import Checkpoint
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.pool")
+
+#: seconds the parent waits for one evaluation result / free slot before
+#: declaring the pool dead (matches the single-evaluator timeout of PR 3)
+_RESULT_TIMEOUT_S = 300.0
+
+# Per-slot claim-protocol states, stored in the shared ``(num_slots, 2)``
+# int64 meta matrix (column 0: state, column 1: ticket).  Transitions:
+# EMPTY -> FILLING (parent reserves, under the lock) -> READY (parent
+# published, under the lock) -> CLAIMED (one worker wins the claim scan,
+# under the lock) -> EMPTY (that worker copied the slot out).  The
+# ready/free semaphores count READY and EMPTY slots respectively, so neither
+# side spins while waiting.
+_SLOT_EMPTY = 0
+_SLOT_FILLING = 1
+_SLOT_READY = 2
+_SLOT_CLAIMED = 3
+
+
+@dataclass
+class _PoolWorkerState:
+    """Everything one evaluator worker needs; inherited via fork, never pickled."""
+
+    worker_id: int
+    model: Module
+    pipeline: Any  # duck-typed: .test_batches(batch_size)
+    batch_size: int
+    params: np.ndarray  # (num_slots, P) shared parameter ring
+    buffers: np.ndarray  # (num_slots, B) shared flattened-buffer ring
+    meta: np.ndarray  # (num_slots, 2) shared int64 [state, ticket]
+    stop_flag: np.ndarray  # (1, 1) shared int64, nonzero => exit
+    buffer_layout: List[Tuple[str, int, Tuple[int, ...]]]
+    lock: Any  # multiprocessing.Lock guarding every meta state transition
+    ready: Any  # multiprocessing.Semaphore counting READY slots
+    free: Any  # multiprocessing.Semaphore counting EMPTY slots
+    results: Any  # multiprocessing.Queue shared across workers
+
+
+def _claim_ready_slot(state: _PoolWorkerState) -> Optional[Tuple[int, int]]:
+    """Claim the READY slot with the lowest ticket; returns ``(slot, ticket)``.
+
+    Runs entirely under the cross-process lock, so exactly one worker wins
+    each slot even when several wake at once.  Returns ``None`` only in the
+    shutdown race where the stop release beat a pending publish.
+    """
+    with state.lock:
+        states = state.meta[:, 0]
+        ready = np.flatnonzero(states == _SLOT_READY)
+        if ready.size == 0:
+            return None
+        slot = int(ready[np.argmin(state.meta[ready, 1])])
+        ticket = int(state.meta[slot, 1])
+        state.meta[slot, 0] = _SLOT_CLAIMED
+        return slot, ticket
+
+
+def _pool_worker_main(state: _PoolWorkerState) -> None:
+    """Worker body: claim slots, copy them out, evaluate, repeat until stopped.
+
+    The slot is freed *before* the (slow) forward passes run — the copy into
+    the worker's private model is the only time the slot is held — so the
+    ring turns over at publish speed, not evaluation speed, and a small ring
+    keeps ``N`` workers busy.  Failures are forwarded as
+    ``(ticket, None, traceback)`` result payloads; the worker keeps serving
+    subsequent slots so one bad checkpoint doesn't idle the pool.
+    """
+    model = state.model
+    target_buffers = dict(model.named_buffers())
+    while True:
+        state.ready.acquire()
+        if state.stop_flag[0, 0]:
+            return
+        ticket = -1
+        try:
+            claim = _claim_ready_slot(state)
+            if claim is None:  # pragma: no cover - shutdown race
+                continue
+            slot, ticket = claim
+            model.load_parameter_vector(state.params[slot])
+            for name, offset, shape in state.buffer_layout:
+                size = int(np.prod(shape, dtype=np.int64))
+                target_buffers[name][...] = state.buffers[
+                    slot, offset : offset + size
+                ].reshape(shape)
+            with state.lock:
+                state.meta[slot, 0] = _SLOT_EMPTY
+            state.free.release()
+            accuracy = evaluate_top1(
+                model, state.pipeline.test_batches(batch_size=state.batch_size)
+            )
+            state.results.put((ticket, accuracy, None))
+        except Exception:  # noqa: BLE001 - forwarded to the parent verbatim
+            state.results.put((ticket, None, traceback.format_exc()))
+
+
+class EvaluatorPool(ForkedWorkerPool):
+    """N forked evaluator workers over one shared-memory checkpoint slot ring.
+
+    Parameters
+    ----------
+    model_template : Module
+        Same-architecture module; cloned once, the clone is inherited by every
+        forked worker (each fork gets its own copy-on-write address space).
+    pipeline : BatchPipeline
+        Source of held-out evaluation batches (``.test_batches(batch_size)``).
+    workers : int
+        Evaluator worker processes.  ``workers=1`` reproduces the PR-3 single
+        forked evaluator exactly; accuracies are bit-identical for any count.
+    num_slots : int, optional
+        Shared slots for in-flight checkpoints; defaults to
+        ``max(2 * workers, 4)``.  :meth:`submit` blocks (backpressure) when
+        every slot is occupied, which bounds parent-side memory at
+        ``num_slots`` parameter vectors regardless of how many checkpoints a
+        run publishes.
+    batch_size : int
+        Evaluation batch size, matching inline ``evaluate()``'s default.
+
+    Notes
+    -----
+    The pool hands results back as ``(ticket, accuracy)`` pairs through
+    :meth:`collect`; tickets are caller-assigned (the
+    :class:`~repro.serve.evaluation.EvaluationService` uses its submission
+    counter).  For standalone use, :meth:`evaluate` submits a whole batch of
+    checkpoints and returns accuracies in submission order.
+    """
+
+    def __init__(
+        self,
+        model_template: Module,
+        pipeline,
+        workers: int = 1,
+        num_slots: Optional[int] = None,
+        batch_size: int = 256,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("evaluator pool needs at least one worker")
+        num_slots = max(2 * workers, 4) if num_slots is None else num_slots
+        if num_slots < 1:
+            raise ConfigurationError("evaluator pool needs at least one shared slot")
+        super().__init__()
+        self.workers = workers
+        self.num_slots = num_slots
+        self.batch_size = batch_size
+        self.in_flight = 0
+        # Successful results dequeued in a collect() that then hit a worker
+        # failure; delivered by the next collect() instead of being dropped.
+        self._undelivered: List[Tuple[int, float]] = []
+        model = model_template.clone()
+        self.num_parameters = model.num_parameters()
+        layout: List[Tuple[str, int, Tuple[int, ...]]] = []
+        offset = 0
+        for name, buf in model.named_buffers():
+            layout.append((name, offset, tuple(buf.shape)))
+            offset += int(buf.size)
+        self._buffer_layout = layout
+        self._params = SharedMatrix(num_slots, self.num_parameters)
+        self._buffers = SharedMatrix(num_slots, offset)
+        self._meta = SharedMatrix(num_slots, 2, dtype=np.int64)
+        self._stop_flag = SharedMatrix(1, 1, dtype=np.int64)
+        self._lock = self._ctx.Lock()
+        self._ready = self._ctx.Semaphore(0)
+        self._free = self._ctx.Semaphore(num_slots)
+        for worker_id in range(workers):
+            state = _PoolWorkerState(
+                worker_id=worker_id,
+                model=model,
+                pipeline=pipeline,
+                batch_size=batch_size,
+                params=self._params.array,
+                buffers=self._buffers.array,
+                meta=self._meta.array,
+                stop_flag=self._stop_flag.array,
+                buffer_layout=layout,
+                lock=self._lock,
+                ready=self._ready,
+                free=self._free,
+                results=self._results,
+            )
+            process = self._fork(
+                _pool_worker_main, state, name=f"evaluator-worker-{worker_id}"
+            )
+            self._handles.append(_ProcessHandle(process=process))
+
+    # -- publish side --------------------------------------------------------------------
+    def submit(self, ticket: int, checkpoint: Checkpoint) -> None:
+        """Publish one checkpoint into a free slot (blocking when the ring is full).
+
+        The wait for a free slot polls worker liveness, so a crashed pool
+        surfaces as a :class:`~repro.errors.SchedulingError` instead of an
+        indefinite block.
+        """
+        if self._stopped:
+            raise ConfigurationError("evaluator pool is stopped")
+        if checkpoint.num_parameters() != self.num_parameters:
+            raise ConfigurationError(
+                f"checkpoint has {checkpoint.num_parameters()} parameters but the "
+                f"pool was built for {self.num_parameters}"
+            )
+        missing = [
+            name
+            for name, _, _ in self._buffer_layout
+            if name not in checkpoint.buffers
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"checkpoint is missing buffer(s) {missing} required by the model"
+            )
+        deadline = time.monotonic() + _RESULT_TIMEOUT_S
+        while not self._free.acquire(timeout=1.0):
+            dead = [p.name for p in self._processes() if not p.is_alive()]
+            if dead:
+                raise SchedulingError(
+                    f"evaluator worker(s) {dead} died while the slot ring was full"
+                )
+            if time.monotonic() > deadline:
+                raise SchedulingError("timed out waiting for a free evaluator slot")
+        with self._lock:
+            empty = np.flatnonzero(self._meta.array[:, 0] == _SLOT_EMPTY)
+            assert empty.size > 0, "free semaphore acquired but no EMPTY slot"
+            slot = int(empty[0])
+            self._meta.array[slot, 0] = _SLOT_FILLING
+        try:
+            self._params.array[slot, :] = checkpoint.parameters
+            for name, offset, shape in self._buffer_layout:
+                size = int(np.prod(shape, dtype=np.int64))
+                self._buffers.array[slot, offset : offset + size] = np.asarray(
+                    checkpoint.buffers[name], dtype=np.float32
+                ).reshape(-1)
+        except Exception:
+            # Roll the reservation back (slot AND semaphore permit) so a bad
+            # checkpoint — e.g. a mis-shaped buffer — cannot shrink the ring.
+            with self._lock:
+                self._meta.array[slot, 0] = _SLOT_EMPTY
+            self._free.release()
+            raise
+        with self._lock:
+            self._meta.array[slot, 1] = ticket
+            self._meta.array[slot, 0] = _SLOT_READY
+        self.in_flight += 1
+        self._ready.release()
+
+    # -- result side ---------------------------------------------------------------------
+    def collect(self, block: bool = False) -> List[Tuple[int, float]]:
+        """Resolved ``(ticket, accuracy)`` pairs; blocks for at least one if asked.
+
+        Raises :class:`~repro.errors.SchedulingError` when a worker forwarded
+        a failure or died without reporting.  A failure payload still
+        decrements :attr:`in_flight` (the errored ticket will never produce a
+        result) and never discards successful results dequeued alongside it —
+        those are handed back by the next ``collect`` call, so the pool stays
+        consistent and reusable after a bad checkpoint.
+        """
+        resolved = self._undelivered
+        self._undelivered = []
+        while self.in_flight:
+            if block and not resolved:
+                payload = self._wait_result(
+                    time.monotonic() + _RESULT_TIMEOUT_S, what="an evaluation result"
+                )
+            else:
+                try:
+                    payload = self._results.get_nowait()
+                except queue_module.Empty:
+                    break
+            ticket, accuracy, error = payload
+            self.in_flight -= 1
+            if error is not None:
+                self._undelivered = resolved  # returned by the next call
+                raise SchedulingError(f"evaluator worker failed:\n{error}")
+            resolved.append((ticket, accuracy))
+        return resolved
+
+    @property
+    def undelivered(self) -> int:
+        """Results already dequeued but not yet handed to a collect() caller."""
+        return len(self._undelivered)
+
+    def drain(self) -> List[Tuple[int, float]]:
+        """Barrier: wait for every in-flight evaluation; returns all pairs resolved.
+
+        Like :meth:`collect`, a worker failure mid-drain re-buffers the pairs
+        already gathered, so nothing resolved is lost to the raised error.
+        """
+        resolved: List[Tuple[int, float]] = []
+        while self.in_flight:
+            try:
+                resolved.extend(self.collect(block=True))
+            except Exception:
+                self._undelivered = resolved + self._undelivered
+                raise
+        return resolved
+
+    def evaluate(self, checkpoints: Sequence[Checkpoint]) -> List[float]:
+        """Submit a batch of checkpoints and return accuracies in order (barrier).
+
+        Standalone convenience (benchmarks, ad-hoc sweeps); do not interleave
+        with externally ticketed :meth:`submit` calls.
+        """
+        if self.in_flight or self._undelivered:
+            raise SchedulingError(
+                "evaluate() needs an idle pool (results in flight or undelivered)"
+            )
+        for ticket, checkpoint in enumerate(checkpoints):
+            self.submit(ticket, checkpoint)
+        accuracies: Dict[int, float] = dict(self.drain())
+        return [accuracies[ticket] for ticket in range(len(checkpoints))]
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def _request_stop(self) -> None:
+        # Workers block on the ready semaphore, not a command queue: raise the
+        # stop flag first, then wake every worker so each sees it and exits.
+        self._stop_flag.array[0, 0] = 1
+        for _ in self._handles:
+            self._ready.release()
+
+    def close(self) -> None:
+        """Stop the workers and release every shared segment (idempotent)."""
+        self.stop()
+        for shared in (self._params, self._buffers, self._meta, self._stop_flag):
+            if shared.array is not None:
+                shared.close()
+
+    def __enter__(self) -> "EvaluatorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------ batched evaluation
+@dataclass
+class _FusedLinear:
+    """Column layout of one ``Linear`` layer inside the flat parameter vector."""
+
+    weight_offset: int
+    out_features: int
+    in_features: int
+    bias_offset: Optional[int]
+
+
+def _layer_chain(model: Module) -> List[Module]:
+    """Flatten a model into its executed layer sequence, or raise.
+
+    Accepts a :class:`~repro.nn.module.Sequential` (possibly nested) or any
+    wrapper module without parameters of its own whose single child is one —
+    which covers the MLP family.  Anything else (residual topologies,
+    convolutions) has no generic fused form and should use
+    :class:`EvaluatorPool` instead.
+    """
+    if isinstance(model, Sequential):
+        layers: List[Module] = []
+        for layer in model:
+            if isinstance(layer, Sequential):
+                layers.extend(_layer_chain(layer))
+            else:
+                layers.append(layer)
+        return layers
+    children = list(model._modules.values())
+    if not model._parameters and len(children) == 1:
+        return _layer_chain(children[0])
+    raise ConfigurationError(
+        f"{type(model).__name__} is not a sequential chain; batched evaluation "
+        "supports Flatten/Linear/ReLU chains — use EvaluatorPool for other models"
+    )
+
+
+class BatchedEvaluator:
+    """Evaluate ``k`` checkpoint versions in one fused forward pass.
+
+    The batch of models lives in a ``(k, P)`` replica bank exactly like the
+    training replicas do: each checkpoint's parameters are loaded through a
+    bank-row-attached model clone (the
+    :meth:`~repro.nn.module.Module.attach_parameter_storage` row-view path),
+    so the bank matrix *is* the k models.  The fused forward then views each
+    ``Linear`` layer's weights as the ``(k, out, in)`` column slice of the
+    bank and lets ``np.matmul`` broadcast the shared test activations across
+    all models — one traversal of the test set for ``k`` evaluations.
+
+    Per-model accuracy accumulation mirrors
+    :func:`repro.nn.metrics.evaluate_top1` operation for operation
+    (including its per-batch rounding), and the batched matmul applies the
+    same multiply-accumulate per model slice, so accuracies match sequential
+    evaluation of each checkpoint.
+
+    Parameters
+    ----------
+    model_template : Module
+        Architecture to evaluate; must reduce to a Flatten/Linear/ReLU chain
+        without non-trainable buffers (MLPs).  Models outside that family —
+        batch-norm CNNs, residual nets — raise
+        :class:`~repro.errors.ConfigurationError`; evaluate those through
+        :class:`EvaluatorPool`.
+    pipeline : BatchPipeline
+        Source of held-out evaluation batches.
+    batch_size : int
+        Evaluation batch size, matching inline ``evaluate()``'s default.
+    """
+
+    def __init__(self, model_template: Module, pipeline, batch_size: int = 256) -> None:
+        self._template = model_template.clone()
+        self._pipeline = pipeline
+        self.batch_size = batch_size
+        buffers = list(self._template.named_buffers())
+        if buffers:
+            raise ConfigurationError(
+                "batched evaluation cannot carry per-model buffers "
+                f"({buffers[0][0]!r}, ...); use EvaluatorPool for this model"
+            )
+        self.num_parameters = self._template.num_parameters()
+        self._plan = self._compile(self._template)
+        self._bank: Optional[ReplicaBank] = None
+        self._rows: List = []  # ModelReplica per bank row
+
+    # -- plan compilation ----------------------------------------------------------------
+    def _compile(self, template: Module) -> List[Tuple]:
+        offsets: Dict[int, int] = {}
+        offset = 0
+        for param in template.parameters():
+            offsets[id(param)] = offset
+            offset += int(param.data.size)
+        plan: List[Tuple] = []
+        for layer in _layer_chain(template):
+            if isinstance(layer, Linear):
+                plan.append(
+                    (
+                        "linear",
+                        _FusedLinear(
+                            weight_offset=offsets[id(layer.weight)],
+                            out_features=layer.out_features,
+                            in_features=layer.in_features,
+                            bias_offset=(
+                                None if layer.bias is None else offsets[id(layer.bias)]
+                            ),
+                        ),
+                    )
+                )
+            elif isinstance(layer, ReLU):
+                plan.append(("relu",))
+            elif isinstance(layer, Flatten):
+                plan.append(("flatten",))
+            elif isinstance(layer, (Identity, Dropout)):
+                continue  # no-ops in eval mode
+            else:
+                raise ConfigurationError(
+                    f"batched evaluation does not support {type(layer).__name__} "
+                    "layers; use EvaluatorPool for this model"
+                )
+        return plan
+
+    # -- bank loading --------------------------------------------------------------------
+    def _load_bank(self, checkpoints: Sequence[Checkpoint]) -> np.ndarray:
+        k = len(checkpoints)
+        if self._bank is None or len(self._rows) != k:
+            self._bank = ReplicaBank(self.num_parameters, capacity=k)
+            self._rows = [
+                self._bank.attach_module(self._template.clone()) for _ in range(k)
+            ]
+        for row, checkpoint in zip(self._rows, checkpoints):
+            if checkpoint.num_parameters() != self.num_parameters:
+                raise ConfigurationError(
+                    f"checkpoint has {checkpoint.num_parameters()} parameters, "
+                    f"evaluator expects {self.num_parameters}"
+                )
+            # The model is bank-row-attached, so this writes the bank row.
+            row.model.load_parameter_vector(checkpoint.parameters)
+        return self._bank.active_matrix()
+
+    # -- fused forward -------------------------------------------------------------------
+    def _stack_weights(self, matrix: np.ndarray) -> List[Tuple]:
+        """Materialise per-layer ``(k, in, out)`` weight stacks from the bank.
+
+        The bank's column slices are strided across rows; ``np.matmul`` would
+        re-buffer them to contiguous memory on *every* test batch, so the
+        stacks are copied out once per :meth:`evaluate` call instead (one
+        O(k·P) pass, amortised over the whole test set).  The values are the
+        exact bank floats, so the fused result is unchanged.
+        """
+        k = matrix.shape[0]
+        prepared: List[Tuple] = []
+        for op in self._plan:
+            if op[0] != "linear":
+                prepared.append(op)
+                continue
+            spec: _FusedLinear = op[1]
+            w_size = spec.out_features * spec.in_features
+            weights = matrix[:, spec.weight_offset : spec.weight_offset + w_size]
+            weights = weights.reshape(k, spec.out_features, spec.in_features)
+            # (k, in, out): the transposed layout F.linear's ``x @ W.T`` uses.
+            stacked = np.ascontiguousarray(weights.transpose(0, 2, 1))
+            bias = None
+            if spec.bias_offset is not None:
+                bias = np.ascontiguousarray(
+                    matrix[:, spec.bias_offset : spec.bias_offset + spec.out_features]
+                )[:, None, :]
+            prepared.append(("linear", stacked, bias))
+        return prepared
+
+    def _fused_forward(
+        self, prepared: List[Tuple], k: int, images: np.ndarray
+    ) -> np.ndarray:
+        """Logits of every banked model for one batch: ``(k, n, classes)``.
+
+        The activations start shared — ``(n, features)`` — and gain the
+        leading ``k`` axis at the first ``Linear`` through matmul
+        broadcasting; from then on each model's activations evolve in its own
+        slice.
+        """
+        act = np.asarray(images, dtype=np.float32)
+        batched = False  # whether act already carries the leading k axis
+        for op in prepared:
+            kind = op[0]
+            if kind == "flatten":
+                # Before the first Linear the activations are shared (n, ...)
+                # and flatten to (n, f); after it they carry the k axis and
+                # flatten per model to (k, n, f).
+                if batched:
+                    act = act.reshape(k, act.shape[1], -1)
+                else:
+                    act = act.reshape(act.shape[0], -1)
+            elif kind == "linear":
+                _, weights, bias = op
+                # Same multiply-accumulate as F.linear's ``x @ W.T`` per model.
+                act = np.matmul(act, weights)
+                batched = True
+                if bias is not None:
+                    act = act + bias
+            elif kind == "relu":
+                # Mirrors F.relu's ``a * (a > 0)`` exactly (not np.maximum).
+                act = act * (act > 0)
+        if not batched:
+            # Degenerate chain with no Linear layer: broadcast to every model.
+            act = np.broadcast_to(act, (k,) + act.shape)
+        return act
+
+    # -- evaluation ----------------------------------------------------------------------
+    def evaluate(self, checkpoints: Sequence[Checkpoint]) -> List[float]:
+        """Top-1 accuracy of every checkpoint, one fused pass over the test set."""
+        if not checkpoints:
+            return []
+        matrix = self._load_bank(checkpoints)
+        prepared = self._stack_weights(matrix)
+        k = len(checkpoints)
+        correct = [0] * k
+        total = 0
+        for batch in self._pipeline.test_batches(batch_size=self.batch_size):
+            logits = self._fused_forward(prepared, k, batch.images)
+            labels = np.asarray(batch.labels).reshape(-1)
+            predictions = logits.argmax(axis=-1)
+            for i in range(k):
+                hit_rate = float((predictions[i] == labels).mean())
+                correct[i] += int(round(hit_rate * batch.size))
+            total += batch.size
+        if total == 0:
+            return [0.0] * k
+        return [c / total for c in correct]
+
+    def evaluate_versions(self, store, versions: Sequence[int]) -> Dict[int, float]:
+        """Fetch ``versions`` from a checkpoint store and batch-evaluate them."""
+        checkpoints = [store.get(version) for version in versions]
+        accuracies = self.evaluate(checkpoints)
+        return dict(zip(versions, accuracies))

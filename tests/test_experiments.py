@@ -123,3 +123,77 @@ class TestTrainingRunnerSmoke:
         assert {row["batch_size"] for row in rows} == {16, 64}
         for row in rows:
             assert row["best_accuracy"] >= 0.0
+
+
+class TestRecordBenchSummary:
+    """The machine-readable per-commit benchmark record and its atomic writes."""
+
+    def test_calls_merge_by_entry_name(self, tmp_path):
+        from repro.experiments import record_bench_summary
+
+        path = tmp_path / "BENCH_summary.json"
+        record_bench_summary(path, "alpha", [{"throughput": 10.0}])
+        record_bench_summary(path, "beta", [{"throughput": 20.0}])
+        record_bench_summary(path, "alpha", [{"throughput": 11.0}])  # overwrite
+        import json
+
+        summary = json.loads(path.read_text())
+        assert summary["entries"]["alpha"] == [{"throughput": 11.0}]
+        assert summary["entries"]["beta"] == [{"throughput": 20.0}]
+        assert summary["environment"]["python"]
+
+    def test_corrupt_summary_is_rebuilt(self, tmp_path):
+        from repro.experiments import record_bench_summary
+
+        path = tmp_path / "BENCH_summary.json"
+        path.write_text('{"entries": {"old": ')  # torn write from a pre-fix world
+        record_bench_summary(path, "fresh", [{"iter_per_s": 1.5}])
+        import json
+
+        assert "fresh" in json.loads(path.read_text())["entries"]
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        from repro.experiments import record_bench_summary
+
+        path = tmp_path / "BENCH_summary.json"
+        record_bench_summary(path, "only", [{"x_per_s": 1.0}])
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_summary.json"]
+
+    def test_parallel_writers_never_tear_the_file(self, tmp_path):
+        """Concurrent merges (parallel benchmark jobs) leave a parseable file
+        at every instant — the bug this guards against was a reader observing
+        a partially written document."""
+        import json
+        import multiprocessing
+
+        from repro.engine import process_execution_supported
+        from repro.experiments import record_bench_summary
+
+        if not process_execution_supported():
+            import pytest
+
+            pytest.skip("requires the fork start method")
+        path = tmp_path / "BENCH_summary.json"
+        record_bench_summary(path, "seed", [{"throughput": 1.0}])
+
+        def writer(name: str) -> None:
+            for i in range(25):
+                record_bench_summary(path, name, [{"throughput": float(i)}])
+
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=writer, args=(f"bench-{j}",), daemon=True)
+            for j in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        parses = 0
+        while any(worker.is_alive() for worker in workers):
+            summary = json.loads(path.read_text())  # must never raise
+            assert "entries" in summary
+            parses += 1
+        for worker in workers:
+            worker.join(timeout=30.0)
+            assert worker.exitcode == 0
+        assert parses > 0
+        assert json.loads(path.read_text())["entries"]

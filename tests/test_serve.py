@@ -432,7 +432,10 @@ class TestInferenceServer:
         server._stop.set()
         server._thread.join(timeout=10.0)
         future: Future = Future()
-        server._queue.put(_Request(images=self._images(1), future=future, enqueued_at=0.0))
+        with server._wakeup:
+            server._pending.append(
+                _Request(images=self._images(1), future=future, enqueued_at=0.0)
+            )
         server.stop()
         with pytest.raises(ConfigurationError, match="stopped"):
             future.result(timeout=5.0)

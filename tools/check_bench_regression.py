@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Gate CI on benchmark throughput: compare a run's summary to the baseline.
+
+``record_bench_summary`` merges every benchmark's rows into
+``benchmarks/results/BENCH_summary.json`` per run; this tool compares those
+rows against the checked-in ``benchmarks/results/BENCH_baseline.json`` and
+fails (exit 1) when any tracked throughput metric regressed by more than
+``--max-regression`` (default 25%).
+
+What is tracked is derived, not hand-listed: within every benchmark entry
+present in *both* documents, rows are paired by position (benches emit rows
+in deterministic order; string-identity columns such as ``mode`` are
+cross-checked and a mismatched pairing is skipped with a warning), and every
+shared numeric column whose name matches ``throughput``/``*_per_s`` is
+gated.  Entries only one side has are skipped — each CI job runs its own
+subset of benches — and faster-than-baseline is always fine: the gate only
+catches regressions, so a baseline recorded on modest hardware still guards
+runs on faster machines.
+
+Usage:
+
+    PYTHONPATH=src python tools/check_bench_regression.py
+    PYTHONPATH=src python tools/check_bench_regression.py --max-regression 0.4
+    PYTHONPATH=src python tools/check_bench_regression.py --write-baseline
+
+``--write-baseline`` snapshots the current summary as the new baseline
+(commit the result) — run it after a deliberate perf change, with fresh
+numbers from the benches the CI jobs run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SUMMARY = REPO_ROOT / "benchmarks" / "results" / "BENCH_summary.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_baseline.json"
+
+#: numeric columns gated by the regression check (higher is better)
+THROUGHPUT_RE = re.compile(r"throughput|_per_s$|_per_sec$", re.IGNORECASE)
+
+
+def load_entries(path: Path) -> Dict[str, List[Dict[str, object]]]:
+    document = json.loads(path.read_text())
+    entries = document.get("entries")
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path} has no 'entries' mapping (schema mismatch?)")
+    return {
+        name: rows for name, rows in entries.items() if isinstance(rows, list)
+    }
+
+
+def _identity(row: Dict[str, object]) -> Dict[str, object]:
+    """The row's identity columns: strings/bools only.
+
+    Numeric columns are measurements (they vary run to run), so identity is
+    anchored on categorical columns like ``mode``/``model``; rows are paired
+    positionally and benches emit rows in deterministic order, making this a
+    safety net against a bench re-ordering its output, not a join key.
+    """
+    return {
+        key: value
+        for key, value in row.items()
+        if not THROUGHPUT_RE.search(key) and isinstance(value, (str, bool))
+    }
+
+
+def compare_rows(
+    entry: str,
+    index: int,
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float,
+) -> Tuple[List[str], List[str], int]:
+    """Returns (failures, warnings, gated_metric_count) for one row pair."""
+    failures: List[str] = []
+    warnings: List[str] = []
+    current_id, baseline_id = _identity(current), _identity(baseline)
+    shared_id = set(current_id) & set(baseline_id)
+    if any(current_id[key] != baseline_id[key] for key in shared_id):
+        warnings.append(
+            f"{entry}[{index}]: row identity changed "
+            f"({ {k: baseline_id[k] for k in sorted(shared_id)} } -> "
+            f"{ {k: current_id[k] for k in sorted(shared_id)} }); skipping"
+        )
+        return failures, warnings, 0
+    gated = 0
+    for key, base_value in baseline.items():
+        if not THROUGHPUT_RE.search(key):
+            continue
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+            continue
+        value = current.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            warnings.append(f"{entry}[{index}].{key}: missing in current run; skipping")
+            continue
+        gated += 1
+        floor = base_value * (1.0 - max_regression)
+        if value < floor:
+            failures.append(
+                f"{entry}[{index}].{key}: {value:g} is "
+                f"{(1 - value / base_value) * 100:.1f}% below baseline "
+                f"{base_value:g} (allowed {max_regression * 100:.0f}%)"
+            )
+    return failures, warnings, gated
+
+
+def check(
+    summary_path: Path, baseline_path: Path, max_regression: float
+) -> int:
+    current_entries = load_entries(summary_path)
+    baseline_entries = load_entries(baseline_path)
+    shared = sorted(set(current_entries) & set(baseline_entries))
+    skipped = sorted(set(baseline_entries) - set(current_entries))
+    failures: List[str] = []
+    warnings: List[str] = []
+    gated = 0
+    for entry in shared:
+        current_rows = current_entries[entry]
+        baseline_rows = baseline_entries[entry]
+        if len(current_rows) != len(baseline_rows):
+            warnings.append(
+                f"{entry}: row count changed ({len(baseline_rows)} -> "
+                f"{len(current_rows)}); comparing the common prefix"
+            )
+        for index, (current, baseline) in enumerate(zip(current_rows, baseline_rows)):
+            row_failures, row_warnings, row_gated = compare_rows(
+                entry, index, current, baseline, max_regression
+            )
+            failures.extend(row_failures)
+            warnings.extend(row_warnings)
+            gated += row_gated
+    for warning in warnings:
+        print(f"warning: {warning}")
+    if skipped:
+        print(f"skipped (not in this run): {', '.join(skipped)}")
+    if failures:
+        print("\nTHROUGHPUT REGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {gated} throughput metric(s) across {len(shared)} benchmark(s) "
+        f"within {max_regression * 100:.0f}% of baseline"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--summary", type=Path, default=DEFAULT_SUMMARY)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop per metric (default 0.25)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot the current summary as the new baseline and exit",
+    )
+    args = parser.parse_args(argv)
+    if not args.summary.exists():
+        print(f"error: no benchmark summary at {args.summary} (run the benches first)",
+              file=sys.stderr)
+        return 1
+    if args.write_baseline:
+        load_entries(args.summary)  # refuse to enshrine an unparseable summary
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.summary, args.baseline)
+        print(f"baseline written: {args.baseline}")
+        return 0
+    if not args.baseline.exists():
+        print(
+            f"error: no baseline at {args.baseline}; create one with "
+            "--write-baseline and commit it",
+            file=sys.stderr,
+        )
+        return 1
+    return check(args.summary, args.baseline, args.max_regression)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
