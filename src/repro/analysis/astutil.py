@@ -1,0 +1,135 @@
+"""Small AST utilities shared by the concurrency rules.
+
+The rules all reason about the same surface syntax: attribute chains like
+``state.meta`` / ``self._meta.array``, ``with <lock>:`` blocks, and function
+bodies with nested scopes excluded.  Centralising the matching here keeps
+each rule module focused on its invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.protocol import ProtocolSpec, normalize_attr
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a name/attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def subscript_state_name(node: ast.Subscript, spec: ProtocolSpec) -> Optional[str]:
+    """The registered shared-state name a subscript touches, or ``None``.
+
+    Matches ``meta[...]``, ``state.meta[...]``, ``self._meta.array[...]`` and
+    the like: a trailing ``.array`` (the :class:`SharedMatrix` view accessor)
+    is unwrapped first, then the terminal identifier is normalized and looked
+    up in ``spec.shared_state_attrs``.
+    """
+    value = node.value
+    if isinstance(value, ast.Attribute) and value.attr == "array":
+        value = value.value
+    name = terminal_name(value)
+    if name is None:
+        return None
+    normalized = normalize_attr(name)
+    if normalized in spec.shared_state_attrs:
+        return normalized
+    return None
+
+
+def is_lock_expression(node: ast.AST, spec: ProtocolSpec) -> bool:
+    """Whether a ``with`` context expression names the protocol lock."""
+    # ``with self._lock:`` / ``with state.lock:`` / ``with lock:``
+    target = node
+    if isinstance(target, ast.Call):  # e.g. ``with pool.locked():``
+        target = target.func
+    name = terminal_name(target)
+    if name is None:
+        return False
+    return normalize_attr(name) in spec.lock_names
+
+
+def is_with_lock(node: ast.AST, spec: ProtocolSpec) -> bool:
+    if not isinstance(node, (ast.With, ast.AsyncWith)):
+        return False
+    return any(is_lock_expression(item.context_expr, spec) for item in node.items)
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def function_defs(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function definition in the module, including nested/methods."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_scope_with_locks(
+    function: ast.AST, spec: ProtocolSpec
+) -> Iterator[Tuple[ast.AST, bool]]:
+    """Yield ``(node, under_lock)`` for every node in the function's own scope.
+
+    Nested function/lambda bodies are skipped (they are separate scopes with
+    their own lock obligations — a ``with lock:`` around a ``def`` does not
+    protect calls made later).  ``under_lock`` is true when the node sits
+    inside a ``with <lock>:`` block of *this* scope.
+    """
+
+    def visit(node: ast.AST, under_lock: bool) -> Iterator[Tuple[ast.AST, bool]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            child_locked = under_lock or is_with_lock(child, spec)
+            yield child, child_locked
+            yield from visit(child, child_locked)
+
+    yield from visit(function, False)
+
+
+def fork_targets(tree: ast.Module, spec: ProtocolSpec) -> List[str]:
+    """Function names passed as fork targets (``._fork(fn, ...)`` / ``target=fn``)."""
+    targets: List[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = terminal_name(node.func)
+        if callee not in spec.fork_call_names:
+            continue
+        if node.args and isinstance(node.args[0], ast.Name):
+            targets.append(node.args[0].id)
+        for keyword in node.keywords:
+            if keyword.arg == "target" and isinstance(keyword.value, ast.Name):
+                targets.append(keyword.value.id)
+    return targets
+
+
+def worker_entry_functions(tree: ast.Module, spec: ProtocolSpec) -> List[ast.AST]:
+    """Function defs that run as forked worker bodies.
+
+    A function is a worker entry when its name carries the registered suffix
+    (``*_worker_main``) or it is passed as a fork target somewhere in the
+    module.
+    """
+    names = set(fork_targets(tree, spec))
+    entries: List[ast.AST] = []
+    for function in function_defs(tree):
+        name = getattr(function, "name", "")
+        if name.endswith(spec.worker_entry_suffix) or name in names:
+            entries.append(function)
+    return entries
+
+
+def state_column_store(node: ast.Subscript) -> bool:
+    """Whether a meta subscript addresses the state column (``[..., 0]``)."""
+    index = node.slice
+    if isinstance(index, ast.Tuple) and index.elts:
+        last = index.elts[-1]
+        return isinstance(last, ast.Constant) and last.value == 0
+    return isinstance(index, ast.Constant) and index.value == 0

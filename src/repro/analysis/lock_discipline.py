@@ -1,0 +1,65 @@
+"""R1 — lock discipline over registered cross-process state words.
+
+The slot ring's ``meta`` matrix (state word + ticket per slot) and the pool's
+``stop_flag`` live in shared memory and are read/written by the parent and
+every forked worker.  The protocol's correctness argument assumes *every*
+access to these words happens under the cross-process lock: the claim scan,
+the publish transition and the free transition are each atomic only because
+they all serialise on it.
+
+R1 therefore flags any subscript read or write of a registered shared-state
+attribute (``spec.shared_state_attrs``, matched as ``meta`` / ``state.meta``
+/ ``self._meta.array`` with underscores normalized) that is not lexically
+inside a ``with <lock>:`` block of the same function scope, unless the
+enclosing function is registered in ``spec.lock_exempt_functions``.
+
+Intentionally benign unlocked accesses — e.g. a worker's read of the
+monotone stop flag, where a stale value only delays shutdown by one claim
+scan — are waived at the line with a justification comment::
+
+    if state.stop_flag[0, 0]:  # repro: waive[R1] - monotone flag, stale read is benign
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.astutil import function_defs, subscript_state_name, walk_scope_with_locks
+from repro.analysis.core import FileContext, Rule, Violation
+from repro.analysis.protocol import ProtocolSpec
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "R1"
+    title = "shared state words must be accessed under the protocol lock"
+
+    def __init__(self, spec: ProtocolSpec) -> None:
+        self.spec = spec
+
+    def check(self, context: FileContext) -> List[Violation]:
+        violations: List[Violation] = []
+        for function in function_defs(context.tree):
+            if getattr(function, "name", "") in self.spec.lock_exempt_functions:
+                continue
+            reported: set = set()
+            for node, under_lock in walk_scope_with_locks(function, self.spec):
+                if under_lock or not isinstance(node, ast.Subscript):
+                    continue
+                name = subscript_state_name(node, self.spec)
+                if name is None:
+                    continue
+                location = (node.lineno, node.col_offset)
+                if location in reported:  # e.g. nested subscripts on one chain
+                    continue
+                reported.add(location)
+                access = "written" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+                violations.append(
+                    self.violation(
+                        context,
+                        node,
+                        f"shared state word '{name}' {access} outside a "
+                        f"'with <lock>:' block in {getattr(function, 'name', '?')}()",
+                    )
+                )
+        return violations

@@ -1,0 +1,97 @@
+"""R4 — a deferred ``step_matrix(..., out=)`` write must be published.
+
+Pipelined synchronisation writes the fused update into a *back* weight buffer
+(``step_matrix(..., out=back)``) while workers read the published front
+buffer.  The new weights become worker-visible only at the buffer flip
+(``self._published_index = back_index``).  Forgetting the flip is the worst
+kind of bug: nothing crashes, workers just keep reading stale weights and the
+run silently degrades to a higher-staleness algorithm.
+
+R4 flags any call carrying an ``out=`` keyword whose callee is a registered
+deferred-write producer (``spec.deferred_write_calls``, i.e. ``step_matrix``)
+or a registered forwarder (``spec.deferred_write_forwarders``, functions that
+pass ``out=`` through to one), when no publish marker follows it in the same
+function.  A publish marker is an assignment to an attribute — or a call to a
+function — whose name contains one of ``spec.publish_markers`` (``published``
+/ ``flip`` / ``publish``).
+
+Functions that are themselves registered forwarders are exempt: they write
+into the buffer their *caller* hands them, and the caller owns the flip
+(structurally checked at the caller's own ``out=`` call site).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.astutil import function_defs, terminal_name
+from repro.analysis.core import FileContext, Rule, Violation
+from repro.analysis.protocol import ProtocolSpec
+
+
+class PublishOrderRule(Rule):
+    rule_id = "R4"
+    title = "deferred out= writes need a buffer flip before workers can read them"
+
+    def __init__(self, spec: ProtocolSpec) -> None:
+        self.spec = spec
+
+    def _deferred_write_call(self, node: ast.AST) -> Optional[ast.Call]:
+        if not isinstance(node, ast.Call):
+            return None
+        callee = terminal_name(node.func)
+        registered = self.spec.deferred_write_calls | self.spec.deferred_write_forwarders
+        if callee not in registered:
+            return None
+        for keyword in node.keywords:
+            if keyword.arg == "out" and not (
+                isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+            ):
+                return node
+        return None
+
+    def _is_publish_marker(self, node: ast.AST) -> bool:
+        names: List[str] = []
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                name = terminal_name(target)
+                if name is not None:
+                    names.append(name)
+        elif isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            if name is not None:
+                names.append(name)
+        return any(
+            marker in name.lower() for name in names for marker in self.spec.publish_markers
+        )
+
+    def check(self, context: FileContext) -> List[Violation]:
+        violations: List[Violation] = []
+        for function in function_defs(context.tree):
+            name = getattr(function, "name", "?")
+            if name in self.spec.deferred_write_forwarders:
+                continue  # writes a caller-owned buffer; the caller flips
+            writes: List[ast.Call] = []
+            marker_lines: List[int] = []
+            for node in ast.walk(function):
+                call = self._deferred_write_call(node)
+                if call is not None:
+                    writes.append(call)
+                if self._is_publish_marker(node):
+                    marker_lines.append(node.lineno)
+            for call in writes:
+                if any(line > call.lineno for line in marker_lines):
+                    continue
+                callee = terminal_name(call.func)
+                violations.append(
+                    self.violation(
+                        context,
+                        call,
+                        f"{callee}(..., out=) in {name}() defers the weight "
+                        "publish but no buffer flip follows in this function; "
+                        "workers would keep reading stale weights",
+                    )
+                )
+        return violations

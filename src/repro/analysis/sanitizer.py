@@ -1,0 +1,307 @@
+"""ShmSanitizer — dynamic race detection for the shared-memory matrices.
+
+The static rules (R1–R4) prove the *code* follows the locking and slot-ring
+protocols; this module checks the *execution*.  When ``REPRO_SHM_SANITIZE=1``
+every :class:`~repro.engine.executor.SharedMatrix` allocates a small side
+shared-memory map with one ``[writer_pid, readers, epoch]`` record per row
+region.  Access paths bracket their reads/writes of a region with
+:meth:`ShmSanitizer.read` / :meth:`ShmSanitizer.write` guards, which stamp
+the map under a cross-process lock and raise :class:`~repro.errors.ShmRaceError`
+the moment two windows overlap illegally:
+
+* **writer/writer** — a second process opens a write window on a region whose
+  writer_pid is still stamped;
+* **writer-while-claimed-reader** — a write window opens while one or more
+  read windows are active on the region (or, symmetrically, a *different*
+  process opens a read window while a write is in flight).
+
+Because the stamps live in shared memory and the guard lock is a
+``multiprocessing`` lock created before the fork, the windows are visible
+across every process touching the segment.  The guards cost two locked
+8-byte stores per window, so the sanitized schedule stays bit-identical to
+the unsanitized one — the protocol under test serialises the *matrix*
+accesses, not the guard bookkeeping.
+
+When the environment flag is off, :func:`create_sanitizer` hands back the
+shared :data:`NULL_SANITIZER` whose guards are free no-ops, so call sites are
+unconditional.
+
+Guard lookup
+------------
+Worker code usually holds a *view* (a bank row, an ``active_matrix`` slice)
+rather than the registered full matrix.  :func:`guard_for` walks the numpy
+``.base`` chain until it finds a registered array, so guards resolve through
+arbitrary slicing.  Region indices are always rows of the *registered*
+matrix; every in-tree view starts at row 0, so view rows and base rows agree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import weakref
+from multiprocessing import get_context, shared_memory
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.errors import ShmRaceError
+
+#: environment flag enabling the sanitizer (read once per process at call time)
+SANITIZE_ENV = "REPRO_SHM_SANITIZE"
+
+_WRITER_PID = 0
+_READERS = 1
+_READER_PID = 2
+_EPOCH = 3
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` still exists (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - cross-user pid reuse
+        return True
+    return True
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SHM_SANITIZE`` requests sanitized shared matrices."""
+    return os.environ.get(SANITIZE_ENV, "").strip() in {"1", "true", "on"}
+
+
+class NullSanitizer:
+    """The disabled sanitizer: every guard is a free no-op."""
+
+    enabled = False
+
+    @contextlib.contextmanager
+    def write(self, region: int) -> Iterator[None]:
+        yield
+
+    @contextlib.contextmanager
+    def read(self, region: int) -> Iterator[None]:
+        yield
+
+    @contextlib.contextmanager
+    def write_rows(self, regions: Union[Iterable[int], int]) -> Iterator[None]:
+        yield
+
+    @contextlib.contextmanager
+    def read_rows(self, regions: Union[Iterable[int], int]) -> Iterator[None]:
+        yield
+
+    def close(self) -> None:
+        pass
+
+
+#: the process-wide disabled sanitizer (shared; stateless)
+NULL_SANITIZER = NullSanitizer()
+
+
+def _release_map(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+        segment.unlink()
+    except (FileNotFoundError, BufferError):  # pragma: no cover - cleanup race
+        pass
+
+
+class ShmSanitizer:
+    """Per-(pid, region) access-epoch stamps for one shared matrix.
+
+    The map is a ``(regions, 4)`` int64 matrix in its own shared segment:
+    column 0 is the pid of the process holding the write window (0 when
+    none), column 1 the count of open read windows, column 2 the pid of the
+    most recent reader, column 3 a monotonically increasing epoch bumped on
+    every window open — a forensic breadcrumb for the error message, not
+    part of the protocol.
+
+    A process killed inside a window (a dead-worker test, a crashed
+    evaluator) can never close it; stale windows whose holder pid is gone
+    are silently reclaimed instead of reported, so kills don't masquerade
+    as races.
+
+    Must be constructed *before* the fork so children inherit both the
+    mapping and the guard lock.
+    """
+
+    enabled = True
+
+    def __init__(self, regions: int, label: str = "shm") -> None:
+        regions = max(1, int(regions))
+        nbytes = regions * 4 * np.dtype(np.int64).itemsize
+        self._segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._map: Optional[np.ndarray] = np.ndarray(
+            (regions, 4), dtype=np.int64, buffer=self._segment.buf
+        )
+        self._map[...] = 0
+        self._lock = get_context("fork").Lock()
+        self.label = label
+        self.regions = regions
+        self._finalizer = weakref.finalize(self, _release_map, self._segment)
+
+    # ------------------------------------------------------------- low level
+    def _stamps(self) -> np.ndarray:
+        if self._map is None:
+            raise ShmRaceError(f"sanitizer for {self.label!r} used after close")
+        return self._map
+
+    def _live_writer(self, stamps: np.ndarray, region: int) -> int:
+        """The region's writer pid, reclaiming the window if its holder died."""
+        writer = int(stamps[region, _WRITER_PID])
+        if writer != 0 and not _pid_alive(writer):
+            stamps[region, _WRITER_PID] = 0
+            return 0
+        return writer
+
+    def _live_readers(self, stamps: np.ndarray, region: int) -> int:
+        """The region's reader count, reclaiming a sole dead reader's window."""
+        readers = int(stamps[region, _READERS])
+        reader_pid = int(stamps[region, _READER_PID])
+        if readers == 1 and reader_pid != 0 and not _pid_alive(reader_pid):
+            stamps[region, _READERS] = 0
+            stamps[region, _READER_PID] = 0
+            return 0
+        return readers
+
+    def begin_write(self, region: int) -> None:
+        pid = os.getpid()
+        with self._lock:
+            stamps = self._stamps()
+            writer = self._live_writer(stamps, region)
+            readers = self._live_readers(stamps, region)
+            epoch = int(stamps[region, _EPOCH])
+            if writer != 0:
+                raise ShmRaceError(
+                    f"overlapping writers on {self.label!r} region {region}: "
+                    f"pid {pid} opened a write window while pid {writer} still "
+                    f"holds one (epoch {epoch})"
+                )
+            if readers != 0:
+                raise ShmRaceError(
+                    f"write-during-read on {self.label!r} region {region}: "
+                    f"pid {pid} opened a write window while {readers} read "
+                    f"window(s) are claimed (epoch {epoch})"
+                )
+            stamps[region, _WRITER_PID] = pid
+            stamps[region, _EPOCH] = epoch + 1
+
+    def end_write(self, region: int) -> None:
+        with self._lock:
+            self._stamps()[region, _WRITER_PID] = 0
+
+    def begin_read(self, region: int) -> None:
+        pid = os.getpid()
+        with self._lock:
+            stamps = self._stamps()
+            writer = self._live_writer(stamps, region)
+            if writer not in (0, pid):
+                raise ShmRaceError(
+                    f"read-during-write on {self.label!r} region {region}: "
+                    f"pid {pid} opened a read window while pid {writer} holds "
+                    f"a write window (epoch {int(stamps[region, _EPOCH])})"
+                )
+            stamps[region, _READERS] += 1
+            stamps[region, _READER_PID] = pid
+            stamps[region, _EPOCH] += 1
+
+    def end_read(self, region: int) -> None:
+        with self._lock:
+            stamps = self._stamps()
+            if stamps[region, _READERS] > 0:
+                stamps[region, _READERS] -= 1
+
+    # --------------------------------------------------------------- guards
+    @contextlib.contextmanager
+    def write(self, region: int) -> Iterator[None]:
+        """Bracket an exclusive write of one row region."""
+        self.begin_write(region)
+        try:
+            yield
+        finally:
+            self.end_write(region)
+
+    @contextlib.contextmanager
+    def read(self, region: int) -> Iterator[None]:
+        """Bracket a shared read of one row region."""
+        self.begin_read(region)
+        try:
+            yield
+        finally:
+            self.end_read(region)
+
+    @contextlib.contextmanager
+    def write_rows(self, regions: Union[Iterable[int], int]) -> Iterator[None]:
+        """Bracket a write of several row regions (``int`` means ``range(n)``)."""
+        rows = list(range(regions)) if isinstance(regions, int) else list(regions)
+        opened = []
+        try:
+            for row in rows:
+                self.begin_write(row)
+                opened.append(row)
+            yield
+        finally:
+            for row in reversed(opened):
+                self.end_write(row)
+
+    @contextlib.contextmanager
+    def read_rows(self, regions: Union[Iterable[int], int]) -> Iterator[None]:
+        """Bracket a read of several row regions (``int`` means ``range(n)``)."""
+        rows = list(range(regions)) if isinstance(regions, int) else list(regions)
+        opened = []
+        try:
+            for row in rows:
+                self.begin_read(row)
+                opened.append(row)
+            yield
+        finally:
+            for row in reversed(opened):
+                self.end_read(row)
+
+    # ------------------------------------------------------------ lifecycle
+    def snapshot(self) -> np.ndarray:
+        """A copy of the ``[writer_pid, readers, reader_pid, epoch]`` map."""
+        with self._lock:
+            return np.array(self._stamps(), copy=True)
+
+    def close(self) -> None:
+        self._map = None
+        self._finalizer()
+
+
+def create_sanitizer(regions: int, label: str = "shm"):
+    """A live :class:`ShmSanitizer` when enabled, else :data:`NULL_SANITIZER`."""
+    if sanitize_enabled():
+        return ShmSanitizer(regions, label=label)
+    return NULL_SANITIZER
+
+
+# ------------------------------------------------------------ guard registry
+# id(array) -> sanitizer.  Forked children inherit the dict with identical
+# ids (the object graph is copy-on-write), so lookups resolve on both sides.
+_REGISTRY: Dict[int, ShmSanitizer] = {}
+
+
+def register_guard(array: np.ndarray, sanitizer: ShmSanitizer) -> None:
+    """Associate ``array`` (a registered full matrix) with its sanitizer."""
+    key = id(array)
+    _REGISTRY[key] = sanitizer
+    weakref.finalize(array, _REGISTRY.pop, key, None)
+
+
+def guard_for(array: Optional[np.ndarray]):
+    """The sanitizer guarding ``array`` or any of its numpy base ancestors.
+
+    Returns :data:`NULL_SANITIZER` for unregistered arrays, so call sites
+    need no enabled/disabled branching.
+    """
+    obj: object = array
+    while obj is not None:
+        found = _REGISTRY.get(id(obj))
+        if found is not None:
+            return found
+        obj = getattr(obj, "base", None)
+    return NULL_SANITIZER

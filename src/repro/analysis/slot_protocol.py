@@ -1,0 +1,92 @@
+"""R2 — slot-ring state words change only through the named transition helpers.
+
+The evaluator pool's slot ring is a four-state machine::
+
+    EMPTY -> FILLING -> READY -> CLAIMED -> EMPTY
+
+Each edge exists exactly once, as a named helper (``_reserve_empty_slot``,
+``_publish_ready_slot``, ``_abort_filling_slot``, ``_claim_ready_slot``,
+``_free_claimed_slot``).  The helpers are where the protocol's invariants are
+audited — each asserts the edge it implements — so a raw assignment anywhere
+else silently adds an unaudited edge to the state machine.
+
+R2 flags any assignment into a registered slot meta attribute
+(``spec.slot_state_attrs``) that either targets the state column
+(``meta[slot, 0]`` / ``meta[:, 0]``) or assigns a state constant
+(``spec.state_constant_prefix``, default ``_SLOT_*``), unless the enclosing
+function is one of ``spec.transition_helpers``.  The ticket column
+(``meta[slot, 1]``) is payload, not protocol state, and is not covered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.astutil import (
+    function_defs,
+    state_column_store,
+    subscript_state_name,
+    terminal_name,
+    walk_scope_with_locks,
+)
+from repro.analysis.core import FileContext, Rule, Violation
+from repro.analysis.protocol import ProtocolSpec
+
+
+class SlotProtocolRule(Rule):
+    rule_id = "R2"
+    title = "slot state transitions only through the named protocol helpers"
+
+    def __init__(self, spec: ProtocolSpec) -> None:
+        self.spec = spec
+
+    def _assigns_state_constant(self, value: ast.AST) -> bool:
+        name = terminal_name(value)
+        return name is not None and name.startswith(self.spec.state_constant_prefix)
+
+    def _store_target(self, node: ast.AST) -> Optional[ast.Subscript]:
+        """The slot-meta subscript a statement stores into, if any."""
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            return None
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            name = subscript_state_name(target, self.spec)
+            if name not in self.spec.slot_state_attrs:
+                continue
+            if state_column_store(target) or (
+                value is not None and self._assigns_state_constant(value)
+            ):
+                return target
+        return None
+
+    def check(self, context: FileContext) -> List[Violation]:
+        violations: List[Violation] = []
+        for function in function_defs(context.tree):
+            name = getattr(function, "name", "")
+            if name in self.spec.transition_helpers:
+                continue
+            # Nested defs are their own scopes; function_defs() visits them.
+            for node, _ in walk_scope_with_locks(function, self.spec):
+                target = self._store_target(node)
+                if target is None:
+                    continue
+                helpers = ", ".join(sorted(self.spec.transition_helpers))
+                violations.append(
+                    self.violation(
+                        context,
+                        target,
+                        f"raw slot state-word assignment in {name}(); ring "
+                        f"transitions must go through a named helper ({helpers})",
+                    )
+                )
+        return violations

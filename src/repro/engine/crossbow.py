@@ -14,6 +14,7 @@ the model SMA returns upon termination.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import time
 from dataclasses import dataclass
@@ -21,6 +22,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import guard_for
 from repro.data import AugmentationPipeline, BatchPipeline, create_dataset
 from repro.data.batching import Batch
 from repro.data.sharding import ShardedBatchPipeline
@@ -537,7 +539,10 @@ class CrossbowTrainer:
             self._apply_pending(overlapped=False)
         if self._published_index != 0:
             k = len(self.learners)
-            np.copyto(self.replica_bank.storage[:k], self._weight_buffer(1)[:k])
+            bank_guard = guard_for(self.replica_bank.storage)
+            shadow_guard = guard_for(self._weight_buffer(1))
+            with bank_guard.write_rows(range(k)), shadow_guard.read_rows(range(k)):
+                np.copyto(self.replica_bank.storage[:k], self._weight_buffer(1)[:k])
             self._published_index = 0
 
     def _bind_executor_buffers(self) -> None:
@@ -617,12 +622,24 @@ class CrossbowTrainer:
         computed on.  ``overlapped``/``staleness`` feed the sync counters.
         """
         started = time.perf_counter()
-        np.multiply(updates, self._last_lr, out=updates)
-        if self.weight_decay:
-            decay = self._decay_rows(len(replicas))
-            np.multiply(weights, self._last_lr * self.weight_decay, out=decay)
-            updates += decay
-        self.synchroniser.step_matrix(weights, updates, out=out)
+        # Sanitized windows for the whole fused-update section: the update
+        # rows are scaled in place (a write), the published weights are read
+        # (pipelined) or stepped in place (depth 0), and the back buffer is
+        # written.  Unregistered (serial-path) arrays resolve to no-op guards.
+        rows = range(len(replicas))
+        with contextlib.ExitStack() as guards:
+            guards.enter_context(guard_for(updates).write_rows(rows))
+            if out is None:
+                guards.enter_context(guard_for(weights).write_rows(rows))
+            else:
+                guards.enter_context(guard_for(weights).read_rows(rows))
+                guards.enter_context(guard_for(out).write_rows(rows))
+            np.multiply(updates, self._last_lr, out=updates)
+            if self.weight_decay:
+                decay = self._decay_rows(len(replicas))
+                np.multiply(weights, self._last_lr * self.weight_decay, out=decay)
+                updates += decay
+            self.synchroniser.step_matrix(weights, updates, out=out)
         self.sync_counters.record(time.perf_counter() - started, overlapped, staleness)
 
         # Hardware part: schedule the corresponding tasks on the simulated server.

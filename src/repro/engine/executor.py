@@ -56,6 +56,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitizer import create_sanitizer, guard_for, register_guard
 from repro.data.sharding import ShardedBatchPipeline, ShardedBatchStream
 from repro.engine.learner import Learner
 from repro.engine.replica import ReplicaBank
@@ -73,7 +74,7 @@ def process_execution_supported() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _fork_context():
+def _fork_context() -> Any:
     if not process_execution_supported():  # pragma: no cover - non-POSIX only
         raise ConfigurationError(
             "execution='process' requires the 'fork' multiprocessing start method "
@@ -82,7 +83,12 @@ def _fork_context():
     return multiprocessing.get_context("fork")
 
 
-def wait_for_result(results, processes, deadline: float, what: str = "worker results"):
+def wait_for_result(
+    results: Any,
+    processes: Sequence[Any],
+    deadline: float,
+    what: str = "worker results",
+) -> Any:
     """One payload from a worker result queue, failing fast on dead workers.
 
     Polls ``results`` (a ``multiprocessing.Queue``) until ``deadline``
@@ -135,15 +141,34 @@ class SharedMatrix:
         ``int64`` matrix.
     """
 
-    def __init__(self, rows: int, cols: int, dtype=np.float32) -> None:
+    def __init__(self, rows: int, cols: int, dtype: Any = np.float32) -> None:
         if rows < 0 or cols < 0:
             raise SchedulingError("shared matrix needs non-negative dimensions")
         dtype = np.dtype(dtype)
         nbytes = max(1, rows * cols * dtype.itemsize)
         self._segment = shared_memory.SharedMemory(create=True, size=nbytes)
-        self.array = np.ndarray((rows, cols), dtype=dtype, buffer=self._segment.buf)
-        self.array[...] = 0
+        self._array: Optional[np.ndarray] = np.ndarray(
+            (rows, cols), dtype=dtype, buffer=self._segment.buf
+        )
+        self._array[...] = 0
         self._finalizer = weakref.finalize(self, _release_segment, self._segment)
+        # Under REPRO_SHM_SANITIZE=1 every row becomes a sanitized region;
+        # guard_for() resolves views of this matrix back to the sanitizer.
+        self.sanitizer = create_sanitizer(rows, label=f"SharedMatrix:{self._segment.name}")
+        if self.sanitizer.enabled:
+            register_guard(self._array, self.sanitizer)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The live ndarray view; raises after :meth:`close`."""
+        if self._array is None:
+            raise SchedulingError(f"shared matrix {self.name!r} used after close()")
+        return self._array
+
+    @property
+    def closed(self) -> bool:
+        """Whether the backing segment has been released."""
+        return self._array is None
 
     @property
     def name(self) -> str:
@@ -151,13 +176,14 @@ class SharedMatrix:
         return self._segment.name
 
     def close(self) -> None:
-        """Release the backing segment (the array becomes invalid)."""
+        """Release the backing segment (idempotent; the array becomes invalid)."""
         # Drop the exported buffer view first or SharedMemory.close() raises.
-        self.array = None
+        self._array = None
+        self.sanitizer.close()
         self._finalizer()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        shape = None if self.array is None else self.array.shape
+        shape = None if self._array is None else self._array.shape
         return f"SharedMatrix(name={self.name!r}, shape={shape})"
 
 
@@ -271,7 +297,11 @@ def _worker_main(state: _WorkerState) -> None:
                     )
                     bound = weights_index
                 out = state.update_matrices[updates_index][state.index]
-                loss = learner.compute_shard_gradient(stream, out=out)
+                # Sanitized window: this step reads the addressed weight row
+                # and exclusively writes the worker's update row.
+                weights_guard = guard_for(state.weight_matrices[weights_index])
+                with weights_guard.read(state.index), guard_for(out).write(state.index):
+                    loss = learner.compute_shard_gradient(stream, out=out)
                 state.results.put((state.index, loss, None))
                 # Double buffering: assemble the next batch while the parent
                 # runs the fused synchronisation step on the shared bank.
@@ -338,20 +368,20 @@ class ForkedWorkerPool:
     def _processes(self) -> List[Any]:
         return [handle.process for handle in self._handles]
 
-    def _fork(self, target, state, name: str):
+    def _fork(self, target: Any, state: Any, name: str) -> Any:
         """Start one daemonised worker process running ``target(state)``."""
         process = self._ctx.Process(target=target, args=(state,), daemon=True, name=name)
         process.start()
         return process
 
-    def _wait_result(self, deadline: float, what: str):
+    def _wait_result(self, deadline: float, what: str) -> Any:
         """One result payload, failing fast when a worker process died."""
         return wait_for_result(self._results, self._processes(), deadline, what=what)
 
     def _request_stop(self) -> None:
         """Hook: wake workers that do not block on a per-worker command queue."""
 
-    def _stop_worker(self, handle) -> None:
+    def _stop_worker(self, handle: _ProcessHandle) -> None:
         if handle.commands is not None:
             try:
                 handle.commands.put(("stop",))

@@ -42,3 +42,16 @@ class AdmissionError(ReproError):
     server's load-shedding policies rejected it at a full queue, shed it as
     the oldest queued request, or its per-request deadline passed before a
     forward pass could start."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis framework was invoked incorrectly (unknown rule id,
+    unreadable baseline file, or a path that is neither a file nor a
+    directory)."""
+
+
+class ShmRaceError(ReproError):
+    """The shared-memory sanitizer observed two overlapping accesses that the
+    fork/slot-ring protocols promise can never overlap: two concurrent writers
+    of one region, or a writer entering a region a claimed reader still
+    holds.  Only ever raised with ``REPRO_SHM_SANITIZE=1``."""

@@ -25,7 +25,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -67,7 +67,7 @@ class Checkpoint:
     metadata: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
-    def from_model(cls, model: Module, **kwargs) -> "Checkpoint":
+    def from_model(cls, model: Module, **kwargs: Any) -> "Checkpoint":
         """Snapshot a materialised central model (copies parameters and buffers)."""
         return cls(
             parameters=model.parameter_vector(copy=True),

@@ -30,7 +30,7 @@ evaluation, for any worker count (only completion *order* varies with N).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.engine.executor import process_execution_supported
 from repro.errors import ConfigurationError, SchedulingError
@@ -114,8 +114,8 @@ class EvaluationService:
         self.num_slots = num_slots
         self.workers = workers
         self._model: Optional[Module] = None
-        self._pipeline = None
-        self._metrics = None
+        self._pipeline: Optional[Any] = None
+        self._metrics: Optional[Any] = None
         self._queue: List[EvaluationTicket] = []  # submitted, not yet resolved
         self._next_ticket = 0
         self.accuracies: Dict[int, float] = {}  # ticket -> resolved accuracy
@@ -126,7 +126,9 @@ class EvaluationService:
         self._closed = False
 
     # -- wiring ------------------------------------------------------------------------
-    def bind(self, model_template: Module, pipeline, metrics=None) -> "EvaluationService":
+    def bind(
+        self, model_template: Module, pipeline: Any, metrics: Optional[Any] = None
+    ) -> "EvaluationService":
         """Provide the model template, test-data pipeline and metrics sink.
 
         ``model_template`` is cloned once; evaluations overwrite its
@@ -293,7 +295,7 @@ class EvaluationService:
     def __enter__(self) -> "EvaluationService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC backstop

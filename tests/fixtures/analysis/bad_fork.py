@@ -1,0 +1,22 @@
+"""R3 fixture: fork-unsafe worker bodies plus a fork after thread creation."""
+
+import threading
+
+import numpy as np
+
+
+def chatty_worker_main(state):
+    log = open("/tmp/worker.log", "a")
+    guard = threading.Lock()
+    jitter = np.random.rand(4)
+    log.write(str(guard) + str(jitter))
+
+
+def launch(pool, state):
+    watcher = threading.Thread(target=_watch)
+    watcher.start()
+    return pool._fork(chatty_worker_main, state, name="w0")
+
+
+def _watch():
+    pass

@@ -1,0 +1,14 @@
+"""R1 fixture: shared state words accessed outside the protocol lock."""
+
+
+def peek_states(state):
+    return state.meta[:, 0]
+
+
+def raise_stop(pool):
+    pool._stop_flag.array[0, 0] = 1
+
+
+def locked_ticket_write(state):
+    with state.lock:
+        state.meta[2, 1] = 99

@@ -1,0 +1,11 @@
+"""R4 fixture: a deferred out= synchronisation step that is never published."""
+
+
+class StalePipeline:
+    def apply_pending(self, weights, updates, back):
+        self.synchroniser.step_matrix(weights, updates, out=back)
+        self.iteration += 1
+
+    def apply_and_flip(self, weights, updates, back, back_index):
+        self.synchroniser.step_matrix(weights, updates, out=back)
+        self._published_index = back_index

@@ -1,0 +1,14 @@
+"""R2 fixture: raw slot state-word transitions outside the named helpers."""
+
+_SLOT_EMPTY = 0
+_SLOT_READY = 2
+
+
+def hijack_slot(state):
+    with state.lock:
+        state.meta[3, 0] = _SLOT_READY
+
+
+def flush_ring(state):
+    with state.lock:
+        state.meta[:, 0] = _SLOT_EMPTY

@@ -1,0 +1,18 @@
+"""Clean fixture: protocol-conformant accesses; the analyzer reports nothing."""
+
+_SLOT_FILLING = 1
+
+
+def _reserve_empty_slot(meta, lock):
+    with lock:
+        meta[0, 0] = _SLOT_FILLING
+        return 0
+
+
+def publish(state):
+    return _reserve_empty_slot(state.meta, state.lock)
+
+
+def watch(state):
+    # repro: waive[R1] - metrics-only sampling of the ring state
+    return state.meta[:, 0]

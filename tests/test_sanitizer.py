@@ -1,0 +1,273 @@
+"""Tests for the ShmSanitizer dynamic shared-memory race detector.
+
+Covers the three layers separately: the stamp-map unit semantics (overlap
+detection, dead-holder reclamation), the :class:`SharedMatrix` wiring under
+``REPRO_SHM_SANITIZE=1`` (guard registration and view resolution), and the
+end-to-end guarantees — an injected overlapping window is detected inside
+the evaluator pool's submit path, while a full pipelined training run under
+the sanitizer stays bit-identical to the unsanitized run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (
+    NULL_SANITIZER,
+    ShmSanitizer,
+    create_sanitizer,
+    guard_for,
+    register_guard,
+    sanitize_enabled,
+)
+from repro.engine import CrossbowConfig, CrossbowTrainer, process_execution_supported
+from repro.engine.executor import SharedMatrix
+from repro.errors import ShmRaceError
+from repro.serve import Checkpoint, EvaluatorPool
+
+needs_fork = pytest.mark.skipif(
+    not process_execution_supported(), reason="requires the fork start method"
+)
+
+
+def _config(**overrides):
+    defaults = dict(
+        model_name="mlp",
+        dataset_name="blobs",
+        num_gpus=1,
+        batch_size=16,
+        replicas_per_gpu=2,
+        max_epochs=2,
+        dataset_overrides={"num_train": 256, "num_test": 64},
+        seed=7,
+        execution="process",
+    )
+    defaults.update(overrides)
+    return CrossbowConfig(**defaults)
+
+
+def _final_state(config):
+    trainer = CrossbowTrainer(config)
+    try:
+        trainer.train()
+        return {
+            "center": trainer.central_model_vector(),
+            "weights": trainer.replica_bank.active_matrix().copy(),
+            "accuracy": trainer.evaluate(),
+        }
+    finally:
+        trainer.close()
+
+
+# ----------------------------------------------------------------- stamp-map unit
+class TestSanitizerUnit:
+    def test_write_write_overlap_raises(self):
+        san = ShmSanitizer(2, label="unit")
+        try:
+            san.begin_write(0)
+            with pytest.raises(ShmRaceError, match="overlapping writers"):
+                san.begin_write(0)
+            san.end_write(0)
+            # Disjoint regions never conflict.
+            with san.write(0), san.write(1):
+                pass
+        finally:
+            san.close()
+
+    def test_write_during_read_raises(self):
+        san = ShmSanitizer(1, label="unit")
+        try:
+            san.begin_read(0)
+            with pytest.raises(ShmRaceError, match="write-during-read"):
+                san.begin_write(0)
+            san.end_read(0)
+            with san.write(0):
+                pass
+        finally:
+            san.close()
+
+    def test_same_process_read_inside_own_write_window_allowed(self):
+        # A single thread of control cannot race itself; step_matrix reads
+        # the weights it is stepping in place.
+        san = ShmSanitizer(1, label="unit")
+        try:
+            with san.write(0):
+                with san.read(0):
+                    pass
+        finally:
+            san.close()
+
+    def test_windows_close_cleanly(self):
+        san = ShmSanitizer(3, label="unit")
+        try:
+            with san.write_rows(3):
+                pass
+            with san.read_rows([0, 2]):
+                pass
+            stamps = san.snapshot()
+            assert (stamps[:, 0] == 0).all()  # no writer pids
+            assert (stamps[:, 1] == 0).all()  # no reader counts
+            assert stamps[:, 3].sum() > 0  # epochs recorded the windows
+        finally:
+            san.close()
+
+    def test_failed_multi_row_acquire_releases_acquired_rows(self):
+        san = ShmSanitizer(3, label="unit")
+        try:
+            san.begin_write(2)
+            with pytest.raises(ShmRaceError):
+                with san.write_rows(3):  # rows 0,1 acquired, row 2 conflicts
+                    pass
+            san.end_write(2)
+            with san.write_rows(3):  # nothing leaked
+                pass
+        finally:
+            san.close()
+
+    def test_disabled_env_yields_null_sanitizer(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+        assert create_sanitizer(8) is NULL_SANITIZER
+        with NULL_SANITIZER.write(0), NULL_SANITIZER.read(0):
+            pass  # free no-ops
+
+    def test_guard_for_unregistered_array_is_null(self):
+        assert guard_for(np.zeros((2, 2), dtype=np.float32)) is NULL_SANITIZER
+        assert guard_for(None) is NULL_SANITIZER
+
+    def test_guard_for_resolves_through_views(self):
+        arr = np.zeros((4, 3), dtype=np.float32)
+        san = ShmSanitizer(4, label="unit")
+        try:
+            register_guard(arr, san)
+            assert guard_for(arr) is san
+            assert guard_for(arr[1]) is san
+            assert guard_for(arr[:2, 1:]) is san
+        finally:
+            san.close()
+
+
+# ------------------------------------------------------------------ cross-process
+@needs_fork
+class TestCrossProcess:
+    def test_cross_fork_write_write_race_detected(self):
+        san = ShmSanitizer(1, label="xproc")
+        ctx = multiprocessing.get_context("fork")
+        outcomes = ctx.Queue()
+
+        def child():
+            try:
+                san.begin_write(0)
+                outcomes.put("no-race")
+            except ShmRaceError:
+                outcomes.put("race")
+
+        try:
+            san.begin_write(0)
+            worker = ctx.Process(target=child)
+            worker.start()
+            worker.join(timeout=10.0)
+            assert outcomes.get(timeout=5.0) == "race"
+            san.end_write(0)
+        finally:
+            san.close()
+
+    def test_dead_holders_window_is_reclaimed(self):
+        # A process that exits inside a window can never close it; the next
+        # acquirer must reclaim the stale stamp instead of reporting a race.
+        san = ShmSanitizer(1, label="xproc")
+        ctx = multiprocessing.get_context("fork")
+
+        def leaky_child():
+            san.begin_write(0)  # exits without end_write
+
+        try:
+            worker = ctx.Process(target=leaky_child)
+            worker.start()
+            worker.join(timeout=10.0)
+            assert san.snapshot()[0, 0] != 0  # the leak is visible...
+            with san.write(0):  # ...and silently reclaimed
+                pass
+        finally:
+            san.close()
+
+    def test_dead_readers_window_is_reclaimed(self):
+        san = ShmSanitizer(1, label="xproc")
+        ctx = multiprocessing.get_context("fork")
+
+        def leaky_reader():
+            san.begin_read(0)  # exits without end_read
+
+        try:
+            worker = ctx.Process(target=leaky_reader)
+            worker.start()
+            worker.join(timeout=10.0)
+            with san.write(0):
+                pass
+        finally:
+            san.close()
+
+
+# --------------------------------------------------------------- matrix wiring
+class TestSharedMatrixWiring:
+    def test_matrix_registers_guard_when_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_SANITIZE", "1")
+        matrix = SharedMatrix(3, 4)
+        try:
+            assert matrix.sanitizer.enabled
+            assert guard_for(matrix.array) is matrix.sanitizer
+            assert guard_for(matrix.array[1]) is matrix.sanitizer
+        finally:
+            matrix.close()
+
+    def test_matrix_unguarded_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM_SANITIZE", raising=False)
+        matrix = SharedMatrix(2, 2)
+        try:
+            assert matrix.sanitizer is NULL_SANITIZER
+            assert guard_for(matrix.array) is NULL_SANITIZER
+        finally:
+            matrix.close()
+
+
+# ------------------------------------------------------------------- end to end
+@needs_fork
+class TestEndToEnd:
+    def test_injected_overlapping_window_trips_pool_submit(self, monkeypatch):
+        """A deliberately held read window on slot 0 must make the parent's
+        next publish fail with ShmRaceError — and releasing it must leave the
+        pool fully usable (the reservation is rolled back)."""
+        monkeypatch.setenv("REPRO_SHM_SANITIZE", "1")
+        trainer = CrossbowTrainer(_config(execution="serial", max_epochs=1))
+        try:
+            checkpoint = Checkpoint.from_model(trainer.initial_model)
+            with EvaluatorPool(trainer.initial_model, trainer.pipeline, workers=2) as pool:
+                pool._params.sanitizer.begin_read(0)  # the injected race
+                with pytest.raises(ShmRaceError, match="write-during-read"):
+                    pool.submit(0, checkpoint)
+                assert pool.in_flight == 0
+                pool._params.sanitizer.end_read(0)
+                pool.submit(0, checkpoint)
+                resolved = pool.drain()
+                assert [ticket for ticket, _ in resolved] == [0]
+        finally:
+            trainer.close()
+
+    def test_pipelined_training_bit_identical_under_sanitizer(self, monkeypatch):
+        """REPRO_SHM_SANITIZE=1 is observability, not behaviour: a pipelined
+        multi-process run must be bit-identical and race-clean under it."""
+        monkeypatch.delenv("REPRO_SHM_SANITIZE", raising=False)
+        plain = _final_state(_config(pipeline_depth=1))
+        monkeypatch.setenv("REPRO_SHM_SANITIZE", "1")
+        sanitized = _final_state(_config(pipeline_depth=1))
+        np.testing.assert_array_equal(plain["weights"], sanitized["weights"])
+        np.testing.assert_array_equal(plain["center"], sanitized["center"])
+        assert plain["accuracy"] == sanitized["accuracy"]
+
+    def test_depth0_process_run_race_clean_under_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_SANITIZE", "1")
+        state = _final_state(_config(pipeline_depth=0))
+        assert np.isfinite(state["accuracy"])
