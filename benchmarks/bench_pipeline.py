@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -55,24 +55,28 @@ def _skip_without_fork() -> None:
 
 
 # ------------------------------------------------------------------ pipelined throughput
-def _throughput_config(pipeline_depth: int) -> CrossbowConfig:
+def _throughput_config(
+    pipeline_depth: int, epochs: int = EPOCHS, num_train: int = NUM_TRAIN, seed: int = 7
+) -> CrossbowConfig:
     return CrossbowConfig(
         model_name="mlp",
         dataset_name="blobs",
         num_gpus=1,
         batch_size=BATCH_SIZE,
         replicas_per_gpu=LEARNERS,
-        max_epochs=EPOCHS,
-        seed=7,
+        max_epochs=epochs,
+        seed=seed,
         execution="process",
         pipeline_depth=pipeline_depth,
-        dataset_overrides={"num_train": NUM_TRAIN, "num_test": 256, "input_dim": INPUT_DIM},
+        dataset_overrides={"num_train": num_train, "num_test": 256, "input_dim": INPUT_DIM},
         model_overrides={"input_dim": INPUT_DIM, "hidden_sizes": HIDDEN},
     )
 
 
-def _run_throughput(pipeline_depth: int) -> Dict[str, object]:
-    trainer = CrossbowTrainer(_throughput_config(pipeline_depth))
+def _run_throughput(
+    pipeline_depth: int, epochs: int = EPOCHS, num_train: int = NUM_TRAIN, seed: int = 7
+) -> Dict[str, object]:
+    trainer = CrossbowTrainer(_throughput_config(pipeline_depth, epochs, num_train, seed))
     try:
         # Warm-up epoch: spawns the worker pool and touches every allocation,
         # so the timed epochs measure steady-state behaviour.
@@ -80,7 +84,7 @@ def _run_throughput(pipeline_depth: int) -> Dict[str, object]:
         trainer._train_epoch(0)
         warmup_iterations = trainer._iteration
         started = time.perf_counter()
-        for epoch in range(1, EPOCHS):
+        for epoch in range(1, epochs):
             trainer._train_epoch(epoch)
         elapsed = time.perf_counter() - started
         iterations = trainer._iteration - warmup_iterations
@@ -225,3 +229,63 @@ def test_persistent_resize_latency(report):
             f"persistent resize ({persistent['median_grow_ms']:.1f} ms) not faster "
             f"than respawn ({respawn['median_grow_ms']:.1f} ms); ratio {ratio:.2f}"
         )
+
+
+# ----------------------------------------------------------------------- CLI / smoke
+SMOKE_EPOCHS = 2
+SMOKE_NUM_TRAIN = 1024
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone pipelined-throughput check (the CI smoke path)."""
+    import sys
+
+    import conftest
+
+    args = conftest.bench_cli(__doc__, argv)
+    if not process_execution_supported():
+        print("skip: fork start method unavailable")
+        return 0
+    epochs = SMOKE_EPOCHS if args.smoke else EPOCHS
+    num_train = SMOKE_NUM_TRAIN if args.smoke else NUM_TRAIN
+    runs = {
+        mode: _run_throughput(depth, epochs=epochs, num_train=num_train, seed=args.seed)
+        for mode, depth in (("synchronous", 0), ("pipelined", 1))
+    }
+    rows = [
+        {
+            "mode": mode,
+            "learners": LEARNERS,
+            "iterations": run["iterations"],
+            "seconds": round(float(run["seconds"]), 4),
+            "iter_per_s": round(float(run["iter_per_s"]), 2),
+            "sync_overlap_fraction": round(float(run["sync_overlap_fraction"]), 4),
+            "max_staleness": run["max_staleness"],
+        }
+        for mode, run in runs.items()
+    ]
+    conftest.standalone_report(
+        "pipeline_throughput_smoke" if args.smoke else "pipeline_throughput_cli", rows
+    )
+    if not (runs["synchronous"]["center_finite"] and runs["pipelined"]["center_finite"]):
+        print("FAIL: non-finite central model after training", file=sys.stderr)
+        return 1
+    if runs["pipelined"]["max_staleness"] != 1 or runs["synchronous"]["max_staleness"] != 0:
+        print("FAIL: pipelined schedule did not run with staleness bound 1", file=sys.stderr)
+        return 1
+    speedup = runs["pipelined"]["iter_per_s"] / runs["synchronous"]["iter_per_s"]
+    cores = os.cpu_count() or 1
+    if not args.smoke and _strict() and cores >= MIN_CORES_FOR_ASSERT:
+        if speedup <= TARGET_SPEEDUP:
+            print(
+                f"FAIL: pipelined only {speedup:.2f}x over synchronous "
+                f"(target {TARGET_SPEEDUP}x on {cores} cores)",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"ok: pipelined {speedup:.2f}x over synchronous at k={LEARNERS}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,6 @@ Run under pytest for CSV reporting, or standalone for the CI smoke check:
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 import threading
@@ -427,26 +426,15 @@ def test_batched_evaluation(report):
 
 # ----------------------------------------------------------------------- CLI / smoke
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny load (~100 requests), sanity assertions only, no perf gates",
-    )
-    args = parser.parse_args(argv)
+    # Standalone runs bypass the pytest report fixture; the conftest helpers
+    # parse the shared flags and record the summary the CI jobs upload.
+    import conftest
+
+    args = conftest.bench_cli(__doc__, argv)
     requests_per_client = SMOKE_REQUESTS_PER_CLIENT if args.smoke else REQUESTS_PER_CLIENT
 
     rows = _microbatching_rows(requests_per_client)
-    for row in rows:
-        print(row)
-    # Standalone runs bypass the pytest report fixture; record the summary
-    # directly so the CI serving job still uploads a BENCH_summary.json.
-    from pathlib import Path
-
-    from repro.experiments import record_bench_summary
-
-    record_bench_summary(
-        Path(__file__).parent / "results" / "BENCH_summary.json",
+    conftest.standalone_report(
         "serving_microbatching_smoke" if args.smoke else "serving_microbatching_cli",
         rows,
     )

@@ -10,8 +10,9 @@ artifact (via :func:`repro.experiments.record_bench_summary`).
 
 from __future__ import annotations
 
+import argparse
 from pathlib import Path
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import pytest
 
@@ -19,6 +20,45 @@ from repro.experiments import format_table, record_bench_summary, save_rows
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SUMMARY_PATH = RESULTS_DIR / "BENCH_summary.json"
+
+
+def bench_cli(
+    description: Optional[str], argv: Optional[Sequence[str]] = None
+) -> argparse.Namespace:
+    """The shared standalone-bench command line: ``--smoke`` and ``--seed``.
+
+    Every bench script's ``main()`` parses the same two flags (smoke = tiny
+    workload, sanity assertions only, no perf gates; seed = workload RNG
+    seed), so the flags live here once.  Bench scripts import this module by
+    its file name (``import conftest``), which works because the script's own
+    directory is ``sys.path[0]`` when run standalone — the import must stay
+    inside ``main()`` so pytest collection never touches it.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, sanity assertions only, no perf gates",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (default 0)"
+    )
+    return parser.parse_args(argv)
+
+
+def standalone_report(name: str, rows: Sequence[Dict[str, object]]) -> None:
+    """The ``report`` fixture's behaviour for standalone (non-pytest) runs.
+
+    Prints the rows and merges them into ``BENCH_summary.json`` under
+    ``name``, so a CI job invoking ``python benchmarks/bench_*.py --smoke``
+    still produces the artifact the regression gate reads.
+    """
+    rows = list(rows)
+    print(f"\n=== {name} ===")
+    print(format_table(rows))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    save_rows(rows, RESULTS_DIR / f"{name}.csv")
+    record_bench_summary(SUMMARY_PATH, name, rows)
 
 
 @pytest.fixture(scope="session")

@@ -13,6 +13,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.errors import ConfigurationError
+
 
 class AutoTunerDecision(str, enum.Enum):
     """Outcome of one auto-tuner observation."""
@@ -33,6 +35,16 @@ class AutoTuner:
         another learner.  The paper expresses τ as an absolute threshold; a
         relative tolerance behaves identically for a fixed workload while being
         batch-size independent, which the benches rely on.
+    hysteresis:
+        Extra margin added to the *shrink* side of the dead band: a learner is
+        only removed when the relative loss exceeds ``tolerance + hysteresis``
+        (and a just-added learner is only backed out when its gain fell below
+        ``tolerance - hysteresis``).  Noisy throughput around the optimum then
+        stops flapping add/remove — each resize costs a pool re-shard — at the
+        price of reacting more slowly to genuine regressions.  The default
+        ``0.0`` reproduces the undamped Algorithm 2 decisions exactly;
+        ``repro.scenarios.studies.run_autotuner_hysteresis_study`` sweeps the
+        damping against a noisy synthetic throughput curve.
     max_learners:
         Upper bound on learners per GPU (bounded by GPU memory in practice).
     min_learners:
@@ -40,6 +52,7 @@ class AutoTuner:
     """
 
     tolerance: float = 0.05
+    hysteresis: float = 0.0
     max_learners: int = 8
     min_learners: int = 1
     learners_per_gpu: int = 1
@@ -47,6 +60,10 @@ class AutoTuner:
     enabled: bool = True
     history: List[AutoTunerDecision] = field(default_factory=list)
     _last_decision: AutoTunerDecision = AutoTunerDecision.KEEP
+
+    def __post_init__(self) -> None:
+        if self.hysteresis < 0:
+            raise ConfigurationError("auto-tuner hysteresis must be >= 0")
 
     def observe(self, throughput: float) -> AutoTunerDecision:
         """Consume one throughput measurement and decide how to adapt.
@@ -70,9 +87,15 @@ class AutoTuner:
             gain = (throughput - self.previous_throughput) / self.previous_throughput
             if gain > self.tolerance and self.learners_per_gpu < self.max_learners:
                 decision = AutoTunerDecision.ADD_LEARNER
-            elif gain < -self.tolerance and self.learners_per_gpu > self.min_learners:
+            elif (
+                gain < -(self.tolerance + self.hysteresis)
+                and self.learners_per_gpu > self.min_learners
+            ):
                 decision = AutoTunerDecision.REMOVE_LEARNER
-            elif self._last_decision is AutoTunerDecision.ADD_LEARNER and gain <= self.tolerance:
+            elif (
+                self._last_decision is AutoTunerDecision.ADD_LEARNER
+                and gain <= self.tolerance - self.hysteresis
+            ):
                 # The last added learner did not pay off: back it out and settle.
                 decision = (
                     AutoTunerDecision.REMOVE_LEARNER

@@ -19,6 +19,12 @@ from repro.experiments.reporting import (
     results_to_rows,
     save_rows,
 )
+# Training-plane studies that run on the scenario sweep engine; re-exported
+# here because they belong to the same evaluation surface as the figures.
+from repro.scenarios.studies import (
+    run_autotuner_hysteresis_study,
+    run_pipelined_easgd_ablation,
+)
 from repro.experiments.figures import (
     run_table1_model_inventory,
     run_fig2_hardware_efficiency,
@@ -57,4 +63,6 @@ __all__ = [
     "run_fig17_sync_overhead",
     "run_ablation_scheduler",
     "run_ablation_memory_plan",
+    "run_autotuner_hysteresis_study",
+    "run_pipelined_easgd_ablation",
 ]

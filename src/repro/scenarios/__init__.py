@@ -1,0 +1,66 @@
+"""Trace-driven load scenarios and the SLO harness.
+
+``repro.scenarios`` gives the serving plane a realistic adversary and a
+behavioural contract: seed-deterministic arrival traces
+(:mod:`~repro.scenarios.traces`), a virtual-time scenario runner with
+cadCAD-style grid sweeps (:mod:`~repro.scenarios.runner`,
+:mod:`~repro.scenarios.sweep`), pass/fail service-level objectives
+(:mod:`~repro.scenarios.slo`), and training-plane studies reusing the same
+sweep engine (:mod:`~repro.scenarios.studies`).  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.traces import (
+    Arrival,
+    ClosedLoopTrace,
+    DiurnalTrace,
+    FlashCrowdTrace,
+    PoissonTrace,
+    SlowDrainTrace,
+    TRACES,
+    Trace,
+    trace_catalogue,
+)
+from repro.scenarios.slo import SLOCheck, SLOReport, SLOSpec, counters_row
+from repro.scenarios.sweep import expand_grid, fan
+from repro.scenarios.runner import (
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    ServiceModel,
+    rerun_identical,
+    simulate,
+)
+from repro.scenarios.studies import (
+    hysteresis_damping_summary,
+    run_autotuner_hysteresis_study,
+    run_pipelined_easgd_ablation,
+    throughput_curve,
+)
+
+__all__ = [
+    "Arrival",
+    "Trace",
+    "TRACES",
+    "PoissonTrace",
+    "DiurnalTrace",
+    "FlashCrowdTrace",
+    "SlowDrainTrace",
+    "ClosedLoopTrace",
+    "trace_catalogue",
+    "SLOCheck",
+    "SLOReport",
+    "SLOSpec",
+    "counters_row",
+    "expand_grid",
+    "fan",
+    "ServiceModel",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "simulate",
+    "rerun_identical",
+    "run_autotuner_hysteresis_study",
+    "run_pipelined_easgd_ablation",
+    "hysteresis_damping_summary",
+    "throughput_curve",
+]

@@ -1,0 +1,184 @@
+"""Training-plane studies driven by the scenario sweep engine.
+
+The scenario harness is not serving-only: the same grid-expand/fan machinery
+that sweeps traces against admission policies also drives the two pending
+training-side questions ROADMAP carries:
+
+* :func:`run_autotuner_hysteresis_study` — Algorithm 2 reacts to *every*
+  super-tolerance throughput swing, so measurement noise around the learner
+  optimum makes it flap add/remove, and each resize costs a pool re-shard.
+  The study replays the same noisy synthetic throughput curve against a grid
+  of ``hysteresis`` values (the new shrink-side damping on
+  :class:`~repro.engine.autotuner.AutoTuner`) and reports how many resizes
+  each setting spends — deterministic, seed-threaded, no training run needed.
+* :func:`run_pipelined_easgd_ablation` — a Figure-15-style ablation crossing
+  the synchronisation *rule* (EA-SGD) with the synchronisation *schedule*
+  (``pipeline_depth`` 0 vs 1): does overlapping the fused EA-SGD update with
+  the next iteration's gradients keep its convergence while buying back the
+  synchronisation cost?  Runs the real trainer on the small ``mlp``/``blobs``
+  workload, so it needs the ``fork`` start method.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.autotuner import AutoTuner
+from repro.errors import ConfigurationError
+from repro.scenarios.sweep import expand_grid
+from repro.utils.rng import RandomState
+
+__all__ = [
+    "run_autotuner_hysteresis_study",
+    "run_pipelined_easgd_ablation",
+    "throughput_curve",
+]
+
+
+def throughput_curve(learners: int, optimum: int = 4, peak: float = 1000.0) -> float:
+    """A synthetic learners→throughput response with a single interior optimum.
+
+    Rises with diminishing returns up to ``optimum`` learners, then decays
+    (resource contention) — the unimodal shape Algorithm 2 assumes.  Units are
+    arbitrary; only relative gains matter to the tuner.
+    """
+    if learners < 1:
+        raise ConfigurationError("throughput_curve needs learners >= 1")
+    if learners <= optimum:
+        return peak * (1.0 - 0.5 ** float(learners)) / (1.0 - 0.5**optimum)
+    return peak * 0.97 ** float(learners - optimum)
+
+
+def run_autotuner_hysteresis_study(
+    hysteresis_values: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    observations: int = 48,
+    noise: float = 0.08,
+    tolerance: float = 0.05,
+    optimum: int = 4,
+    max_learners: int = 8,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Sweep shrink-side damping against one fixed noisy throughput replay.
+
+    Every hysteresis value sees the *same* multiplicative noise sequence
+    (drawn once from a seed-threaded stream), so the comparison is paired:
+    any difference in resize counts is the damping, not the noise draw.
+    Returns one row per value — resizes spent, final learner count, and
+    whether the tuner settled — in grid order.
+    """
+    if observations < 1:
+        raise ConfigurationError("hysteresis study needs >= 1 observation")
+    if noise < 0:
+        raise ConfigurationError("hysteresis study noise must be >= 0")
+    stream = RandomState(seed).child("study/hysteresis").generator
+    factors = 1.0 + noise * stream.standard_normal(observations)
+    rows: List[Dict[str, object]] = []
+    for combo in expand_grid({"hysteresis": list(hysteresis_values)}):
+        value = float(combo["hysteresis"])
+        tuner = AutoTuner(tolerance=tolerance, hysteresis=value, max_learners=max_learners)
+        for step in range(observations):
+            observed = throughput_curve(tuner.learners_per_gpu, optimum=optimum)
+            tuner.observe(observed * float(factors[step]))
+        rows.append(
+            {
+                "hysteresis": value,
+                "observations": observations,
+                "noise": noise,
+                "resizes": tuner.resize_count,
+                "grow": tuner.grow_count,
+                "shrink": tuner.shrink_count,
+                "final_learners": tuner.learners_per_gpu,
+                "converged": tuner.converged(),
+                "seed": seed,
+            }
+        )
+    return rows
+
+
+def run_pipelined_easgd_ablation(
+    pipeline_depths: Sequence[int] = (0, 1),
+    replicas_per_gpu: int = 2,
+    max_epochs: int = 2,
+    num_train: int = 256,
+    batch_size: int = 16,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """EA-SGD synchronisation, synchronous vs pipelined schedule (Figure 15 dual).
+
+    Figure 15 compares synchronisation *rules* at a fixed schedule; this
+    ablation holds the rule at EA-SGD and varies the *schedule* — depth 0
+    (parent applies the fused update while workers idle) against depth 1
+    (update overlapped with the next iteration's gradients, staleness bound
+    1).  One row per depth: accuracy, iteration throughput, and the overlap
+    the pipelined schedule actually achieved.  Requires the ``fork`` start
+    method (process-mode trainer); raises ``ConfigurationError`` without it.
+    """
+    # Imported lazily: the engine pulls in the full trainer stack, which the
+    # deterministic hysteresis study above does not need.
+    from repro.engine import CrossbowConfig, CrossbowTrainer, process_execution_supported
+
+    if not process_execution_supported():
+        raise ConfigurationError(
+            "the pipelined-EASGD ablation needs the 'fork' start method "
+            "(pipeline_depth=1 requires execution='process')"
+        )
+    rows: List[Dict[str, object]] = []
+    for combo in expand_grid({"pipeline_depth": list(pipeline_depths)}):
+        depth = int(combo["pipeline_depth"])
+        config = CrossbowConfig(
+            model_name="mlp",
+            dataset_name="blobs",
+            num_gpus=1,
+            batch_size=batch_size,
+            replicas_per_gpu=replicas_per_gpu,
+            max_epochs=max_epochs,
+            dataset_overrides={"num_train": num_train, "num_test": 64},
+            seed=seed,
+            execution="process",
+            pipeline_depth=depth,
+            synchronisation="easgd",
+        )
+        trainer = CrossbowTrainer(config)
+        try:
+            started = time.perf_counter()
+            result = trainer.train()
+            elapsed = time.perf_counter() - started
+            counters = trainer.sync_counters
+            iterations = int(trainer._iteration)  # same counter bench_pipeline reads
+            rows.append(
+                {
+                    "synchronisation": "easgd",
+                    "mode": "pipelined" if depth else "synchronous",
+                    "pipeline_depth": depth,
+                    "learners": replicas_per_gpu,
+                    "epochs": max_epochs,
+                    "iterations": iterations,
+                    "seconds": round(elapsed, 4),
+                    "iter_rate": round(iterations / elapsed, 2) if elapsed > 0 else 0.0,
+                    "best_accuracy": round(float(result.metrics.best_accuracy()), 4),
+                    "sync_overlap_fraction": round(float(counters.overlap_fraction), 4),
+                    "max_staleness": int(counters.max_staleness),
+                    "center_finite": bool(
+                        np.isfinite(trainer.central_model_vector()).all()
+                    ),
+                    "seed": seed,
+                }
+            )
+        finally:
+            trainer.close()
+    return rows
+
+
+def hysteresis_damping_summary(rows: Sequence[Dict[str, object]]) -> Optional[bool]:
+    """True when the most damped setting resized no more than the undamped one.
+
+    Convenience for benches/tests reading the study's headline claim off its
+    rows; ``None`` when the rows cannot say (fewer than two settings).
+    """
+    if len(rows) < 2:
+        return None
+    ordered = sorted(rows, key=lambda row: float(row["hysteresis"]))  # type: ignore[arg-type]
+    return int(ordered[-1]["resizes"]) <= int(ordered[0]["resizes"])  # type: ignore[call-overload]

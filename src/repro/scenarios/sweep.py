@@ -1,0 +1,73 @@
+"""Parameter-sweep fan-out: expand a grid, run combinations, keep order.
+
+The cadCAD ``Executor`` idiom — build every sweep combination up front, fan
+them across a multi-process execution context, and collect one tidy row per
+combination — fits the scenario harness exactly: every scenario is an
+independent, deterministic simulation, so the only thing parallelism may
+change is wall-clock time, never a result.  :func:`fan` enforces that shape:
+
+* results come back in *submission order* regardless of ``n_jobs`` (the pool
+  ``map`` preserves order), so a sweep's row list is reproducible;
+* ``n_jobs=1`` (the default) runs serially in-process — no pickling, easy
+  debugging — and is the automatic fallback when the platform lacks the
+  ``fork`` start method;
+* the callable and its items must be picklable for ``n_jobs > 1``; the
+  scenario dataclasses are plain data, so they are.
+
+This module must stay thread-free: R3 (fork safety) forbids fork sites in
+modules that also start threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from typing import Any, Callable, Dict, List, Mapping, Sequence, TypeVar
+
+from repro.engine.executor import process_execution_supported
+from repro.errors import ConfigurationError
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Every combination of the axes, in deterministic row-major order.
+
+    The first axis varies slowest (like nested for-loops written in axis
+    order), so ``expand_grid({"a": [1, 2], "b": ["x", "y"]})`` yields
+    ``a=1,b=x``, ``a=1,b=y``, ``a=2,b=x``, ``a=2,b=y`` — the order sweep
+    rows appear in reports and the regression baseline.
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    for name in names:
+        if len(axes[name]) == 0:
+            raise ConfigurationError(f"sweep axis {name!r} has no values")
+    return [
+        dict(zip(names, combination))
+        for combination in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+def fan(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    n_jobs: int = 1,
+) -> List[ResultT]:
+    """Run ``fn`` over ``items``, serially or across forked worker processes.
+
+    Results preserve item order for any ``n_jobs``, so callers can rely on
+    row ``i`` belonging to item ``i``.  ``n_jobs`` caps at ``len(items)``;
+    values below 2 — or platforms without ``fork`` — run serially.
+    """
+    if n_jobs < 1:
+        raise ConfigurationError("fan n_jobs must be >= 1")
+    items = list(items)
+    jobs = min(n_jobs, len(items))
+    if jobs < 2 or not process_execution_supported():
+        return [fn(item) for item in items]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=jobs) as pool:
+        return pool.map(fn, items)

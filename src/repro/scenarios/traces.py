@@ -1,0 +1,316 @@
+"""Deterministic arrival-trace generators: the serving plane's adversaries.
+
+The paper's evaluation sweeps learner counts and sync frequencies against a
+fixed workload; the serving plane needs the dual — a fixed system swept
+against *workloads*.  Each trace here is a reproducible request-arrival
+process over a virtual timeline:
+
+* :class:`PoissonTrace` — constant-rate open-loop arrivals, the memoryless
+  baseline every queueing result assumes;
+* :class:`DiurnalTrace` — a sinusoidally modulated rate (quiet troughs, busy
+  peaks), the shape a user-facing service sees over a day;
+* :class:`FlashCrowdTrace` — baseline load with a rectangular burst window,
+  the admission-control stress case (can the policy keep p99 bounded while
+  the burst is shed?);
+* :class:`SlowDrainTrace` — a linearly decaying rate, the tail of an incident
+  or a cache refill, exercising the path from overload back to idle;
+* :class:`ClosedLoopTrace` — a fixed client population with think times:
+  arrivals *respond to* completions, so offered load self-throttles the way
+  benchmark harnesses (and the closed-loop generator in
+  ``bench_serving.serve_workload``) do.
+
+Every open-loop trace is a non-homogeneous Poisson process sampled by
+Lewis-Shedler thinning from its :meth:`~Trace.rate` profile.  Randomness is
+seed-threaded through :class:`repro.utils.rng.RandomState` children keyed by
+the trace's name, so a fixed seed yields a bit-identical arrival sequence on
+every run, every process, and every sweep worker — the property the scenario
+determinism tests and the CI regression gate rely on — while two differently
+named traces never share a stream even under the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request in a trace: its virtual arrival instant and sample count."""
+
+    at_s: float
+    samples: int = 1
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Base class: a named, bounded, seed-reproducible arrival process.
+
+    Subclasses define :meth:`rate` (instantaneous arrivals/s at virtual time
+    ``t``) and :attr:`peak_rate` (a tight upper bound on it); arrivals are
+    drawn by thinning.  ``request_samples`` sizes every request (the serving
+    plane batches *samples*, so bigger requests fill batches faster).
+    """
+
+    duration_s: float = 8.0
+    request_samples: int = 1
+
+    #: "open" traces fix arrival times up front; "closed" traces derive them
+    #: from completions + think times inside the runner.
+    kind = "open"
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("trace duration_s must be positive")
+        if self.request_samples < 1:
+            raise ConfigurationError("trace request_samples must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removesuffix("Trace").lower()
+
+    @property
+    def peak_rate(self) -> float:
+        raise NotImplementedError
+
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate (requests/s) at virtual time ``t``."""
+        raise NotImplementedError
+
+    def _stream(self, seed: int) -> np.random.Generator:
+        """The trace's private generator: seed split by the trace name."""
+        return RandomState(seed).child(f"trace/{self.name}").generator
+
+    def arrivals(self, seed: int) -> List[Arrival]:
+        """The full arrival sequence for ``seed`` (Lewis-Shedler thinning).
+
+        Candidate instants are drawn from a homogeneous process at
+        :attr:`peak_rate` and kept with probability ``rate(t) / peak_rate``,
+        which samples the exact non-homogeneous process for any rate profile
+        bounded by the peak.
+        """
+        peak = float(self.peak_rate)
+        if peak <= 0:
+            return []
+        stream = self._stream(seed)
+        arrivals: List[Arrival] = []
+        t = 0.0
+        while True:
+            t += float(stream.exponential(1.0 / peak))
+            if t >= self.duration_s:
+                return arrivals
+            if float(stream.uniform()) * peak <= self.rate(t):
+                arrivals.append(Arrival(at_s=t, samples=self.request_samples))
+
+    def offered(self, seed: int) -> int:
+        """Total requests the trace offers under ``seed``."""
+        return len(self.arrivals(seed))
+
+
+@dataclass(frozen=True)
+class PoissonTrace(Trace):
+    """Constant-rate open-loop arrivals (homogeneous Poisson)."""
+
+    rate_rps: float = 40.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rate_rps <= 0:
+            raise ConfigurationError("PoissonTrace rate_rps must be positive")
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate_rps
+
+    def rate(self, t: float) -> float:
+        return self.rate_rps
+
+
+@dataclass(frozen=True)
+class DiurnalTrace(Trace):
+    """Sinusoidal rate between ``base_rate`` (trough) and ``peak_rate_rps``.
+
+    One full period spans ``period_s`` of virtual time, starting at the
+    trough, so short scenarios see the ramp up into the peak.
+    """
+
+    base_rate: float = 10.0
+    peak_rate_rps: float = 60.0
+    period_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_rate < 0 or self.peak_rate_rps <= 0:
+            raise ConfigurationError("diurnal rates must be positive")
+        if self.peak_rate_rps < self.base_rate:
+            raise ConfigurationError("diurnal peak_rate_rps must be >= base_rate")
+        if self.period_s <= 0:
+            raise ConfigurationError("diurnal period_s must be positive")
+
+    @property
+    def peak_rate(self) -> float:
+        return self.peak_rate_rps
+
+    def rate(self, t: float) -> float:
+        mid = (self.base_rate + self.peak_rate_rps) / 2.0
+        amplitude = (self.peak_rate_rps - self.base_rate) / 2.0
+        return mid - amplitude * float(np.cos(2.0 * np.pi * t / self.period_s))
+
+
+@dataclass(frozen=True)
+class FlashCrowdTrace(Trace):
+    """Baseline Poisson load with a rectangular burst window.
+
+    Between ``burst_start_s`` and ``burst_start_s + burst_duration_s`` the
+    rate jumps from ``base_rate`` to ``burst_rate`` — the flash crowd the
+    admission policies exist for.
+    """
+
+    base_rate: float = 15.0
+    burst_rate: float = 120.0
+    burst_start_s: float = 2.0
+    burst_duration_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_rate <= 0 or self.burst_rate <= 0:
+            raise ConfigurationError("flash-crowd rates must be positive")
+        if self.burst_rate < self.base_rate:
+            raise ConfigurationError("flash-crowd burst_rate must be >= base_rate")
+        if self.burst_start_s < 0 or self.burst_duration_s <= 0:
+            raise ConfigurationError("flash-crowd burst window must be non-degenerate")
+
+    @property
+    def peak_rate(self) -> float:
+        return self.burst_rate
+
+    def rate(self, t: float) -> float:
+        in_burst = self.burst_start_s <= t < self.burst_start_s + self.burst_duration_s
+        return self.burst_rate if in_burst else self.base_rate
+
+
+@dataclass(frozen=True)
+class SlowDrainTrace(Trace):
+    """Linearly decaying rate from ``start_rate`` down to ``end_rate``.
+
+    The recovering-from-overload shape: heavy at t=0, draining to (near)
+    quiet by the end of the window.
+    """
+
+    start_rate: float = 80.0
+    end_rate: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.start_rate <= 0 or self.end_rate < 0:
+            raise ConfigurationError("slow-drain rates must be positive")
+        if self.end_rate > self.start_rate:
+            raise ConfigurationError("slow-drain start_rate must be >= end_rate")
+
+    @property
+    def peak_rate(self) -> float:
+        return self.start_rate
+
+    def rate(self, t: float) -> float:
+        fraction = min(max(t / self.duration_s, 0.0), 1.0)
+        return self.start_rate + (self.end_rate - self.start_rate) * fraction
+
+
+@dataclass(frozen=True)
+class ClosedLoopTrace(Trace):
+    """A fixed client population with exponential think times.
+
+    Each of ``clients`` submits ``requests_per_client`` requests; every
+    request (including the first) follows a think pause drawn from an
+    exponential distribution with mean ``think_time_s``.  Arrival times
+    therefore depend on *completions* — the runner schedules client ``c``'s
+    next request ``think[c, i]`` seconds after its previous response — so the
+    offered load self-throttles under slow service instead of piling up.
+    """
+
+    clients: int = 16
+    requests_per_client: int = 8
+    think_time_s: float = 0.05
+    # duration_s is unused for closed loops (the run ends when every client
+    # finishes); the inherited default keeps the dataclass uniform.
+
+    kind = "closed"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.clients < 1 or self.requests_per_client < 1:
+            raise ConfigurationError("closed loop needs >= 1 client and request each")
+        if self.think_time_s < 0:
+            raise ConfigurationError("closed-loop think_time_s must be >= 0")
+
+    @property
+    def peak_rate(self) -> float:
+        return self.clients / max(self.think_time_s, 1e-9)
+
+    def rate(self, t: float) -> float:  # pragma: no cover - informational only
+        return self.peak_rate
+
+    def think_times(self, seed: int) -> np.ndarray:
+        """The ``(clients, requests_per_client)`` think-time matrix for ``seed``.
+
+        This *is* the closed-loop trace's random content — the determinism
+        tests pin it the way they pin open-loop arrival sequences.
+        """
+        stream = self._stream(seed)
+        if self.think_time_s == 0:
+            return np.zeros((self.clients, self.requests_per_client), dtype=np.float64)
+        return stream.exponential(
+            self.think_time_s, size=(self.clients, self.requests_per_client)
+        )
+
+    def arrivals(self, seed: int) -> List[Arrival]:
+        raise ConfigurationError(
+            "closed-loop arrival times depend on completions; replay the trace "
+            "through ScenarioRunner instead of asking for a fixed schedule"
+        )
+
+    def offered(self, seed: int) -> int:
+        return self.clients * self.requests_per_client
+
+
+#: name -> class, for sweeps configured by trace name (CLI, CI job matrices)
+TRACES: Dict[str, Type[Trace]] = {
+    "poisson": PoissonTrace,
+    "diurnal": DiurnalTrace,
+    "flashcrowd": FlashCrowdTrace,
+    "slowdrain": SlowDrainTrace,
+    "closedloop": ClosedLoopTrace,
+}
+
+
+def trace_catalogue(duration_s: float = 8.0, scale: float = 1.0) -> List[Trace]:
+    """The four open-loop catalogue shapes at a common duration.
+
+    ``scale`` multiplies every rate, so benchmarks can turn the same shapes
+    into smoke (scale < 1) or stress (scale > 1) variants without changing
+    their relative structure.
+    """
+    if scale <= 0:
+        raise ConfigurationError("trace_catalogue scale must be positive")
+    return [
+        PoissonTrace(duration_s=duration_s, rate_rps=40.0 * scale),
+        DiurnalTrace(
+            duration_s=duration_s,
+            base_rate=10.0 * scale,
+            peak_rate_rps=60.0 * scale,
+            period_s=duration_s,
+        ),
+        FlashCrowdTrace(
+            duration_s=duration_s,
+            base_rate=15.0 * scale,
+            burst_rate=120.0 * scale,
+            burst_start_s=duration_s / 4.0,
+            burst_duration_s=duration_s / 4.0,
+        ),
+        SlowDrainTrace(duration_s=duration_s, start_rate=80.0 * scale, end_rate=2.0 * scale),
+    ]

@@ -136,9 +136,27 @@ class ServeCounters:
         self.accepted += 1
         self.queue_depths.append(depth)
 
+    @property
+    def offered(self) -> int:
+        """Every request that reached the admission boundary.
+
+        ``accepted`` and ``rejected`` partition the offered load (a shed or
+        deadline-missed request was *accepted* first), so conservation —
+        ``offered == accepted + rejected`` and
+        ``accepted >= shed + deadline_missed`` — holds at every instant; the
+        scenario harness's property tests assert exactly these identities.
+        """
+        return self.accepted + self.rejected
+
+    @property
+    def max_queue_depth_seen(self) -> int:
+        """Deepest post-admission queue observed (0 before any admission)."""
+        return max(self.queue_depths, default=0)
+
     def summary(self) -> Dict[str, float]:
         depths = np.asarray(self.queue_depths, dtype=np.float64)
         return {
+            "offered": self.offered,
             "accepted": self.accepted,
             "rejected": self.rejected,
             "shed": self.shed,

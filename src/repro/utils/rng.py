@@ -51,6 +51,9 @@ class RandomState:
     def uniform(self, low=0.0, high=1.0, size=None) -> np.ndarray:
         return self._generator.uniform(low, high, size)
 
+    def exponential(self, scale=1.0, size=None) -> np.ndarray:
+        return self._generator.exponential(scale, size)
+
     def integers(self, low, high=None, size=None) -> np.ndarray:
         return self._generator.integers(low, high, size)
 

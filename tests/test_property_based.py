@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
@@ -15,6 +17,17 @@ from repro.tensor import Tensor, functional as F
 from repro.tensor.tensor import unbroadcast
 from repro.gpusim import cost_profile_for_model, learning_task_duration, ring_allreduce_time
 from repro.gpusim.topology import pcie_tree_topology
+from repro.scenarios import (
+    ClosedLoopTrace,
+    DiurnalTrace,
+    FlashCrowdTrace,
+    PoissonTrace,
+    Scenario,
+    ServiceModel,
+    SlowDrainTrace,
+    rerun_identical,
+    simulate,
+)
 
 # Hypothesis settings tuned for CI: few but meaningful examples, no deadline
 # (NumPy work inside the properties can be slow on loaded machines).
@@ -223,6 +236,103 @@ class TestSimulatorProperties:
         for value in throughputs:
             tuner.observe(value)
             assert 1 <= tuner.learners_per_gpu <= max_learners
+
+
+@st.composite
+def open_traces(draw):
+    """An arbitrary valid open-loop trace (every catalogue shape, small)."""
+    duration = draw(st.floats(min_value=0.5, max_value=2.0, allow_nan=False))
+    low = draw(st.floats(min_value=1.0, max_value=40.0, allow_nan=False))
+    high = draw(st.floats(min_value=40.0, max_value=90.0, allow_nan=False))
+    kind = draw(st.sampled_from(["poisson", "diurnal", "flashcrowd", "slowdrain"]))
+    if kind == "poisson":
+        return PoissonTrace(duration_s=duration, rate_rps=high)
+    if kind == "diurnal":
+        return DiurnalTrace(
+            duration_s=duration, base_rate=low, peak_rate_rps=high, period_s=duration
+        )
+    if kind == "flashcrowd":
+        return FlashCrowdTrace(
+            duration_s=duration,
+            base_rate=low,
+            burst_rate=high,
+            burst_start_s=duration / 4.0,
+            burst_duration_s=duration / 4.0,
+        )
+    return SlowDrainTrace(duration_s=duration, start_rate=high, end_rate=low)
+
+
+any_traces = st.one_of(
+    open_traces(),
+    st.builds(
+        ClosedLoopTrace,
+        clients=st.integers(1, 8),
+        requests_per_client=st.integers(1, 4),
+        think_time_s=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    ),
+)
+
+
+@st.composite
+def scenarios(draw):
+    """An arbitrary valid scenario: any trace x policy x knobs the server accepts."""
+    policy = draw(st.sampled_from(["none", "reject", "shed-oldest", "degrade"]))
+    return Scenario(
+        trace=draw(any_traces),
+        admission_policy=policy,
+        max_queue_depth=None if policy == "none" else draw(st.integers(1, 6)),
+        deadline_ms=draw(
+            st.one_of(st.none(), st.floats(min_value=5.0, max_value=200.0, allow_nan=False))
+        ),
+        workers=draw(st.integers(1, 3)),
+        max_batch_size=draw(st.integers(1, 8)),
+        max_latency_ms=draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+        service=ServiceModel(
+            batch_overhead_ms=2.0,
+            per_sample_ms=draw(st.floats(min_value=1.0, max_value=15.0, allow_nan=False)),
+        ),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+class TestScenarioProperties:
+    @SETTINGS
+    @given(scenario=scenarios())
+    def test_conservation_for_arbitrary_scenarios(self, scenario):
+        """No replay loses a request: offered = accepted + rejected and every
+        accepted request is served, shed, or expired — for any trace, policy,
+        deadline, and lane count."""
+        result = simulate(scenario)
+        counters = result.counters
+        assert counters.offered == counters.accepted + counters.rejected
+        assert counters.accepted == result.served + counters.shed + counters.deadline_missed
+
+    @SETTINGS
+    @given(scenario=scenarios(), policy=st.sampled_from(["reject", "shed-oldest"]))
+    def test_bounded_policies_never_exceed_queue_bound(self, scenario, policy):
+        bounded = replace(
+            scenario,
+            admission_policy=policy,
+            max_queue_depth=scenario.max_queue_depth or 4,
+        )
+        result = simulate(bounded)
+        assert result.counters.max_queue_depth_seen <= bounded.max_queue_depth
+
+    @SETTINGS
+    @given(scenario=scenarios())
+    def test_counters_never_negative(self, scenario):
+        result = simulate(scenario)
+        counters = result.counters
+        for attribute in ("accepted", "rejected", "shed", "deadline_missed", "degraded_batches"):
+            assert getattr(counters, attribute) >= 0
+        assert result.served >= 0 and result.batches >= 0
+        assert all(latency >= 0.0 for latency in result.latencies_ms)
+        assert result.makespan_s >= 0.0
+
+    @SETTINGS
+    @given(scenario=scenarios())
+    def test_fixed_seed_rerun_is_bit_identical(self, scenario):
+        assert rerun_identical(scenario)
 
 
 class TestScheduleProperties:
