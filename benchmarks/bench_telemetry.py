@@ -1,0 +1,153 @@
+"""Telemetry recorder overhead microbenchmarks.
+
+The emission layer's contract (``repro.telemetry.recorder``) is that
+instrumented hot paths stay hot:
+
+* **Disabled no-op path** — a disabled recorder returns after one attribute
+  check, and ``span()`` hands back one shared no-op context manager.  The
+  cost per call must be of the same order as calling an empty method, i.e.
+  ~zero against any loop that does real work.  Asserted here with a generous
+  absolute bound so the instrumentation sprinkled through the trainer and
+  server can never become the bottleneck when telemetry is off (the default).
+* **Enabled buffered path** — one GIL-atomic ``list.append`` per event, no
+  locks or I/O; measured for the record, and bounded loosely (it runs on
+  shared CI machines).
+
+Column names deliberately avoid the regression gate's throughput pattern
+(``ns_per_op`` etc.): these are latency floors, not tracked throughput.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.telemetry.recorder import Recorder
+
+OPS = 200_000
+#: generous ceilings for shared CI runners; locally these run ~10x under
+DISABLED_NS_CEILING = 1_000.0
+ENABLED_NS_CEILING = 25_000.0
+
+
+def _strict() -> bool:
+    return os.environ.get("BENCH_STRICT", "1") != "0"
+
+
+def _ns_per_op(fn, ops: int) -> float:
+    started = time.perf_counter()
+    for _ in range(ops):
+        fn()
+    return (time.perf_counter() - started) / ops * 1e9
+
+
+def _measure(ops: int = OPS) -> List[Dict[str, object]]:
+    disabled = Recorder(enabled=False)
+    enabled = Recorder(enabled=True, run_id="bench-telemetry")
+
+    class _Baseline:
+        """An empty method call: the floor any emit path is compared against."""
+
+        def noop(self) -> None:
+            return None
+
+    baseline_ns = _ns_per_op(_Baseline().noop, ops)
+    disabled_counter_ns = _ns_per_op(lambda: disabled.counter("bench.tick"), ops)
+    disabled_span_ns = _ns_per_op(lambda: disabled.span("bench.block").__enter__(), ops)
+    enabled_gauge_ns = _ns_per_op(lambda: enabled.gauge("bench.value", 1.0), ops)
+    buffered = len(enabled)
+    enabled.drain()
+
+    return [
+        {
+            "mode": "baseline_empty_method",
+            "ops": ops,
+            "ns_per_op": round(baseline_ns, 1),
+            "events_buffered": 0,
+        },
+        {
+            "mode": "disabled_counter",
+            "ops": ops,
+            "ns_per_op": round(disabled_counter_ns, 1),
+            "events_buffered": 0,
+        },
+        {
+            "mode": "disabled_span_enter",
+            "ops": ops,
+            "ns_per_op": round(disabled_span_ns, 1),
+            "events_buffered": 0,
+        },
+        {
+            "mode": "enabled_gauge",
+            "ops": ops,
+            "ns_per_op": round(enabled_gauge_ns, 1),
+            "events_buffered": buffered,
+        },
+    ]
+
+
+def _check(rows: List[Dict[str, object]]) -> List[str]:
+    """The microbench's assertions, shared by the pytest and CLI paths."""
+    by_mode = {str(row["mode"]): row for row in rows}
+    failures: List[str] = []
+    disabled = float(by_mode["disabled_counter"]["ns_per_op"])
+    span = float(by_mode["disabled_span_enter"]["ns_per_op"])
+    enabled_row = by_mode["enabled_gauge"]
+    if disabled > DISABLED_NS_CEILING:
+        failures.append(
+            f"disabled counter costs {disabled:.0f} ns/op "
+            f"(ceiling {DISABLED_NS_CEILING:.0f}); the no-op path is not a no-op"
+        )
+    if span > DISABLED_NS_CEILING:
+        failures.append(
+            f"disabled span costs {span:.0f} ns/op "
+            f"(ceiling {DISABLED_NS_CEILING:.0f}); _NULL_SPAN is being bypassed"
+        )
+    if float(enabled_row["ns_per_op"]) > ENABLED_NS_CEILING:
+        failures.append(
+            f"enabled gauge costs {enabled_row['ns_per_op']} ns/op "
+            f"(ceiling {ENABLED_NS_CEILING:.0f}); the buffered path grew I/O or locks"
+        )
+    if int(enabled_row["events_buffered"]) != int(enabled_row["ops"]):
+        failures.append("enabled recorder lost events while buffering")
+    return failures
+
+
+def test_recorder_overhead(report):
+    rows = _measure()
+    report("telemetry_overhead", rows)
+    failures = _check(rows)
+    if _strict():
+        assert not failures, "; ".join(failures)
+
+
+# ----------------------------------------------------------------------- CLI / smoke
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone recorder-overhead check (the CI smoke path)."""
+    import sys
+
+    import conftest
+
+    args = conftest.bench_cli(__doc__, argv)
+    ops = 20_000 if args.smoke else OPS
+    rows = _measure(ops)
+    conftest.standalone_report(
+        "telemetry_overhead_smoke" if args.smoke else "telemetry_overhead_cli", rows
+    )
+    failures = _check(rows)
+    if failures and _strict():
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    by_mode = {str(row["mode"]): row for row in rows}
+    print(
+        f"ok: disabled counter {by_mode['disabled_counter']['ns_per_op']} ns/op, "
+        f"enabled gauge {by_mode['enabled_gauge']['ns_per_op']} ns/op "
+        f"over {ops} ops"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

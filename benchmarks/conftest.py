@@ -6,6 +6,11 @@ as CSV under ``benchmarks/results/`` so they can be compared against the paper
 in EXPERIMENTS.md, and merged into ``benchmarks/results/BENCH_summary.json``
 — the machine-readable per-commit performance record the CI jobs upload as an
 artifact (via :func:`repro.experiments.record_bench_summary`).
+
+Telemetry is *enabled* for every bench run (pytest and standalone): the
+gated throughput numbers are measured with the recorder live, so the 25%
+regression gate doubles as the bound on instrumentation overhead in the
+trainer and serving hot paths.
 """
 
 from __future__ import annotations
@@ -17,9 +22,18 @@ from typing import Callable, Dict, Optional, Sequence
 import pytest
 
 from repro.experiments import format_table, record_bench_summary, save_rows
+from repro.telemetry.recorder import configure as configure_telemetry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 SUMMARY_PATH = RESULTS_DIR / "BENCH_summary.json"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _telemetry_enabled():
+    """Benches measure with the recorder on (see the module docstring)."""
+    configure_telemetry(enabled=True)
+    yield
+    configure_telemetry(enabled=False)
 
 
 def bench_cli(
@@ -43,6 +57,7 @@ def bench_cli(
     parser.add_argument(
         "--seed", type=int, default=0, help="workload RNG seed (default 0)"
     )
+    configure_telemetry(enabled=True)
     return parser.parse_args(argv)
 
 

@@ -43,6 +43,7 @@ from repro.optim.easgd import EASGD, EASGDConfig
 from repro.optim.schedules import hyperparameters_for_model, schedule_for_model
 from repro.optim.sma import SMA, SMAConfig
 from repro.gpusim import Tracer, cost_profile_for_model, titan_x_server
+from repro.telemetry.recorder import get_recorder
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState
 
@@ -365,6 +366,15 @@ class CrossbowTrainer:
             self._evaluation_service.drain()
             self.metrics.assert_resolved()
 
+        # Snapshot the run's cumulative counters into the telemetry plane so
+        # the analytics layer can window them across runs and commits.
+        recorder = get_recorder()
+        if recorder.enabled:
+            for key, value in self.sync_counters.as_dict().items():
+                recorder.counter(f"trainer.{key}", float(value))
+            recorder.counter("trainer.autotuner_resizes", self.autotuner.resize_count)
+            recorder.counter("trainer.epochs", len(self.metrics.records))
+
         return TrainingResult(
             system="crossbow",
             model_name=config.model_name,
@@ -541,8 +551,9 @@ class CrossbowTrainer:
             k = len(self.learners)
             bank_guard = guard_for(self.replica_bank.storage)
             shadow_guard = guard_for(self._weight_buffer(1))
-            with bank_guard.write_rows(range(k)), shadow_guard.read_rows(range(k)):
-                np.copyto(self.replica_bank.storage[:k], self._weight_buffer(1)[:k])
+            with get_recorder().span("trainer.flip", rows=k):
+                with bank_guard.write_rows(range(k)), shadow_guard.read_rows(range(k)):
+                    np.copyto(self.replica_bank.storage[:k], self._weight_buffer(1)[:k])
             self._published_index = 0
 
     def _bind_executor_buffers(self) -> None:
@@ -640,7 +651,13 @@ class CrossbowTrainer:
                 np.multiply(weights, self._last_lr * self.weight_decay, out=decay)
                 updates += decay
             self.synchroniser.step_matrix(weights, updates, out=out)
-        self.sync_counters.record(time.perf_counter() - started, overlapped, staleness)
+        sync_seconds = time.perf_counter() - started
+        self.sync_counters.record(sync_seconds, overlapped, staleness)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.record_span(
+                "trainer.sync", sync_seconds, overlapped=overlapped, staleness=staleness
+            )
 
         # Hardware part: schedule the corresponding tasks on the simulated server.
         timing = self.scheduler.schedule_iteration(
@@ -712,15 +729,16 @@ class CrossbowTrainer:
         until every new learner is registered, and the lock is released exactly
         once even if a mid-resize step raises.
         """
-        self._quiesce_for_resize()
-        self.scheduler.barrier()
-        with self.replica_pool.locked():
-            center = np.array(self.synchroniser.center, copy=True)
-            for gpu in self.server.gpus:
-                model = self.initial_model.clone()
-                model.load_parameter_vector(center)
-                self._add_learner_on_gpu(gpu.gpu_id, model)
-        self._finish_resize()
+        with get_recorder().span("autotuner.resize", direction="grow"):
+            self._quiesce_for_resize()
+            self.scheduler.barrier()
+            with self.replica_pool.locked():
+                center = np.array(self.synchroniser.center, copy=True)
+                for gpu in self.server.gpus:
+                    model = self.initial_model.clone()
+                    model.load_parameter_vector(center)
+                    self._add_learner_on_gpu(gpu.gpu_id, model)
+            self._finish_resize()
         logger.debug("auto-tuner: grew to %d learners per GPU", self.autotuner.learners_per_gpu)
 
     def _shrink_learners(self) -> None:
@@ -731,25 +749,26 @@ class CrossbowTrainer:
         are retired for reuse by a later grow, so grow/shrink oscillation
         leaks neither scheduler state nor streams.
         """
-        self._quiesce_for_resize()
-        self.scheduler.barrier()
-        removed: List[ModelReplica] = []
-        with self.replica_pool.locked():
-            for gpu in self.server.gpus:
-                replica = self.replica_pool.remove_last_on_gpu(gpu.gpu_id)
-                if replica is not None:
-                    removed.append(replica)
-        if removed:
-            removed_ids = {replica.replica_id for replica in removed}
-            self.learners = [
-                learner
-                for learner in self.learners
-                if learner.replica.replica_id not in removed_ids
-            ]
-            for replica in removed:
-                self.scheduler.deregister_replica(replica)
-                self.server.gpu(replica.gpu_id).retire_learner_stream(replica.stream_id)
-        self._finish_resize()
+        with get_recorder().span("autotuner.resize", direction="shrink"):
+            self._quiesce_for_resize()
+            self.scheduler.barrier()
+            removed: List[ModelReplica] = []
+            with self.replica_pool.locked():
+                for gpu in self.server.gpus:
+                    replica = self.replica_pool.remove_last_on_gpu(gpu.gpu_id)
+                    if replica is not None:
+                        removed.append(replica)
+            if removed:
+                removed_ids = {replica.replica_id for replica in removed}
+                self.learners = [
+                    learner
+                    for learner in self.learners
+                    if learner.replica.replica_id not in removed_ids
+                ]
+                for replica in removed:
+                    self.scheduler.deregister_replica(replica)
+                    self.server.gpu(replica.gpu_id).retire_learner_stream(replica.stream_id)
+            self._finish_resize()
         logger.debug("auto-tuner: shrank to %d learners per GPU", self.autotuner.learners_per_gpu)
 
     def _quiesce_for_resize(self) -> None:
@@ -879,15 +898,16 @@ class CrossbowTrainer:
         from user code at any sync boundary — the snapshot is a private copy,
         so training continues unaffected.
         """
-        model = self.central_model()
-        checkpoint = Checkpoint.from_model(
-            model,
-            epoch=-1 if epoch is None else epoch,
-            iteration=self._iteration,
-            sma_restarts=getattr(self.synchroniser, "restarts", 0),
-        )
-        if self.checkpoint_store is not None:
-            self.checkpoint_store.publish(checkpoint)
+        with get_recorder().span("trainer.publish_checkpoint"):
+            model = self.central_model()
+            checkpoint = Checkpoint.from_model(
+                model,
+                epoch=-1 if epoch is None else epoch,
+                iteration=self._iteration,
+                sma_restarts=getattr(self.synchroniser, "restarts", 0),
+            )
+            if self.checkpoint_store is not None:
+                self.checkpoint_store.publish(checkpoint)
         return checkpoint
 
     def attach_checkpoint_store(self, store: CheckpointStore) -> CheckpointStore:

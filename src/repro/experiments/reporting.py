@@ -74,7 +74,10 @@ def save_rows(rows: Sequence[Dict[str, object]], path: Path) -> Path:
 
 
 def record_bench_summary(
-    path: Path, name: str, rows: Sequence[Dict[str, object]]
+    path: Path,
+    name: str,
+    rows: Sequence[Dict[str, object]],
+    telemetry_db: Optional[Path] = None,
 ) -> Path:
     """Merge one benchmark's rows into a machine-readable summary JSON.
 
@@ -93,6 +96,17 @@ def record_bench_summary(
     can be overwritten by a process that read before it), but the document
     itself is always parseable, which is what the regression gate and the CI
     artifact upload depend on.
+
+    Every merged row is additionally dual-written into the telemetry store
+    (``telemetry.sqlite`` next to the summary, unless ``telemetry_db`` or
+    ``REPRO_TELEMETRY_DB`` points elsewhere), under the same atomic
+    discipline — one SQLite transaction deletes and re-inserts this run's
+    rows for the bench, so concurrent writers serialise and a re-run stays
+    last-writer-wins per bench, exactly like the JSON.  Bench history and
+    live telemetry then share one query surface
+    (:mod:`repro.telemetry.queries`, the trajectory regression gate).  The
+    dual-write is best-effort: a locked or unwritable store logs a warning
+    rather than failing the bench.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -126,4 +140,27 @@ def record_bench_summary(
     temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     temp.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     os.replace(temp, path)
+
+    coerced = [{key: _coerce(value) for key, value in row.items()} for row in rows]
+    _dual_write_telemetry(path, name, coerced, telemetry_db)
     return path
+
+
+def _dual_write_telemetry(
+    summary_path: Path,
+    name: str,
+    rows: Sequence[Dict[str, object]],
+    telemetry_db: Optional[Path],
+) -> None:
+    """Mirror one bench's rows into the telemetry store (best-effort)."""
+    from repro.telemetry.store import TelemetryStore, default_db_path
+    from repro.utils.logging import get_logger
+
+    db = telemetry_db if telemetry_db is not None else default_db_path(summary_path.parent)
+    try:
+        with TelemetryStore(db) as store:
+            store.insert_bench_rows(name, rows)
+    except Exception as exc:  # noqa: BLE001 - telemetry must never fail a bench
+        get_logger("experiments.reporting").warning(
+            "telemetry dual-write to %s failed: %s", db, exc
+        )

@@ -48,6 +48,7 @@ from repro.scenarios.slo import SLOReport, SLOSpec
 from repro.scenarios.sweep import expand_grid, fan
 from repro.scenarios.traces import Trace
 from repro.serve.inference import _ADMISSION_POLICIES, InferenceServer, ServeCounters
+from repro.telemetry.recorder import get_recorder
 
 __all__ = [
     "ServiceModel",
@@ -425,7 +426,8 @@ class ScenarioRunner:
     # -- deterministic plane -----------------------------------------------------------
     def run(self, scenario: Scenario) -> ScenarioResult:
         """Simulate one scenario (conservation-checked, SLO-evaluated)."""
-        return simulate(scenario)
+        with get_recorder().span("scenario.simulate", scenario=scenario.label):
+            return simulate(scenario)
 
     def scenarios(
         self,
@@ -474,8 +476,22 @@ class ScenarioRunner:
 
     @staticmethod
     def rows(results: Sequence[ScenarioResult]) -> List[Dict[str, object]]:
-        """Tidy rows for ``record_bench_summary`` / ``save_rows``."""
-        return [result.row() for result in results]
+        """Tidy rows for ``record_bench_summary`` / ``save_rows``.
+
+        With telemetry enabled, every row's numeric columns are also emitted
+        as ``scenario.<column>`` gauges (labelled by scenario), so sweep
+        outcomes land in the same time-series store as the live counters.
+        """
+        rows = [result.row() for result in results]
+        recorder = get_recorder()
+        if recorder.enabled:
+            for row in rows:
+                label = str(row.get("scenario", ""))
+                for key, value in row.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        continue
+                    recorder.gauge(f"scenario.{key}", float(value), scenario=label)
+        return rows
 
     # -- live planes -------------------------------------------------------------------
     def replay_live(

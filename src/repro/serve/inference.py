@@ -50,6 +50,7 @@ import numpy as np
 from repro.errors import AdmissionError, ConfigurationError
 from repro.nn.module import Module
 from repro.serve.checkpoint import Checkpoint, CheckpointStore
+from repro.telemetry.recorder import get_recorder
 from repro.tensor.tensor import Tensor, no_grad
 from repro.utils.logging import get_logger
 
@@ -276,6 +277,13 @@ class InferenceServer:
         self._thread.join(timeout=30.0)
         self._thread = None
         self.stats.finished_at = time.perf_counter()
+        # Snapshot the admission counters for the telemetry plane: queryable
+        # per-run history (queue-depth percentiles are the serving
+        # auto-scaler's load signal).
+        recorder = get_recorder()
+        if recorder.enabled:
+            for key, value in self.counters.summary().items():
+                recorder.counter(f"serve.{key}", float(value))
         with self._wakeup:
             abandoned = list(self._pending)
             self._pending.clear()
@@ -450,14 +458,18 @@ class InferenceServer:
             holdover.future.set_exception(ConfigurationError("inference server stopped"))
 
     def _run_batch(self, batch: List[_Request]) -> None:
+        recorder = get_recorder()
         try:
             images = (
                 batch[0].images
                 if len(batch) == 1
                 else np.concatenate([request.images for request in batch], axis=0)
             )
-            with no_grad():
-                logits = self.model(Tensor(images)).data
+            with recorder.span(
+                "serve.batch", requests=len(batch), samples=int(images.shape[0])
+            ):
+                with no_grad():
+                    logits = self.model(Tensor(images)).data
         except Exception as exc:  # noqa: BLE001 - fail the requests, not the loop
             for request in batch:
                 if not request.future.set_running_or_notify_cancel():
@@ -471,7 +483,10 @@ class InferenceServer:
             offset += request.size
             if request.future.set_running_or_notify_cancel():
                 request.future.set_result(result)
-            self.stats.latencies_ms.append((finished - request.enqueued_at) * 1000.0)
+            latency_ms = (finished - request.enqueued_at) * 1000.0
+            self.stats.latencies_ms.append(latency_ms)
+            if recorder.enabled:
+                recorder.gauge("serve.latency_ms", latency_ms)
             self.stats.requests += 1
             self.stats.samples += request.size
         self.stats.batches += 1

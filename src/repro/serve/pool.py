@@ -52,6 +52,7 @@ from repro.nn.layers import Dropout, Flatten, Identity, Linear, ReLU
 from repro.nn.metrics import evaluate_top1
 from repro.nn.module import Module, Sequential
 from repro.serve.checkpoint import Checkpoint
+from repro.telemetry.recorder import get_recorder
 from repro.utils.logging import get_logger
 
 logger = get_logger("serve.pool")
@@ -311,24 +312,26 @@ class EvaluatorPool(ForkedWorkerPool):
                 )
             if time.monotonic() > deadline:
                 raise SchedulingError("timed out waiting for a free evaluator slot")
-        slot = _reserve_empty_slot(self._meta.array, self._lock)
-        try:
-            # Sanitized window: FILLING reservation makes the parent the
-            # slot's exclusive writer until publish or rollback.
-            with self._params.sanitizer.write(slot), self._buffers.sanitizer.write(slot):
-                self._params.array[slot, :] = checkpoint.parameters
-                for name, offset, shape in self._buffer_layout:
-                    size = int(np.prod(shape, dtype=np.int64))
-                    self._buffers.array[slot, offset : offset + size] = np.asarray(
-                        checkpoint.buffers[name], dtype=np.float32
-                    ).reshape(-1)
-        except Exception:
-            # Roll the reservation back (slot AND semaphore permit) so a bad
-            # checkpoint — e.g. a mis-shaped buffer — cannot shrink the ring.
-            _abort_filling_slot(self._meta.array, self._lock, slot)
-            self._free.release()
-            raise
-        _publish_ready_slot(self._meta.array, self._lock, slot, ticket)
+        with get_recorder().span("pool.publish"):
+            slot = _reserve_empty_slot(self._meta.array, self._lock)
+            try:
+                # Sanitized window: FILLING reservation makes the parent the
+                # slot's exclusive writer until publish or rollback.
+                with self._params.sanitizer.write(slot), self._buffers.sanitizer.write(slot):
+                    self._params.array[slot, :] = checkpoint.parameters
+                    for name, offset, shape in self._buffer_layout:
+                        size = int(np.prod(shape, dtype=np.int64))
+                        self._buffers.array[slot, offset : offset + size] = np.asarray(
+                            checkpoint.buffers[name], dtype=np.float32
+                        ).reshape(-1)
+            except Exception:
+                # Roll the reservation back (slot AND semaphore permit) so a
+                # bad checkpoint — e.g. a mis-shaped buffer — cannot shrink
+                # the ring.
+                _abort_filling_slot(self._meta.array, self._lock, slot)
+                self._free.release()
+                raise
+            _publish_ready_slot(self._meta.array, self._lock, slot, ticket)
         self.in_flight += 1
         self._ready.release()
 
@@ -343,6 +346,7 @@ class EvaluatorPool(ForkedWorkerPool):
         those are handed back by the next ``collect`` call, so the pool stays
         consistent and reusable after a bad checkpoint.
         """
+        started = time.perf_counter()
         resolved = self._undelivered
         self._undelivered = []
         while self.in_flight:
@@ -361,6 +365,14 @@ class EvaluatorPool(ForkedWorkerPool):
                 self._undelivered = resolved  # returned by the next call
                 raise SchedulingError(f"evaluator worker failed:\n{error}")
             resolved.append((ticket, accuracy))
+        if resolved:
+            # Copy-out span recorded only when something was handed back, so
+            # empty polls never spam the event buffer.
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.record_span(
+                    "pool.copy_out", time.perf_counter() - started, results=len(resolved)
+                )
         return resolved
 
     @property

@@ -1,0 +1,42 @@
+"""Queryable time-series telemetry: spans, counters, SQLite, window analytics.
+
+The package splits the telemetry plane HTAP-style into a write path the hot
+loops can afford and an analytical path that scans history:
+
+* :mod:`repro.telemetry.recorder` — the emission layer.  A fork-safe
+  :class:`Recorder` buffers ``counter``/``gauge``/``span`` events per
+  process (one list append per event, no locks, no I/O) and spools them to
+  per-process JSONL files off the hot path.  Disabled recorders no-op at
+  ~zero cost, so the instrumentation baked into the trainer, the inference
+  server, the auto-tuner and the evaluator pool is free until a harness
+  opts in via :func:`configure`.
+* :mod:`repro.telemetry.store` — the WAL-mode SQLite store.  A single
+  writer drains recorder buffers and spool directories into one normalized
+  schema (runs / events / bench rows) keyed by ``run_id``, so history
+  accumulates across runs and commits.
+* :mod:`repro.telemetry.queries` — window-function analytics (rolling
+  percentiles over the last N runs, per-commit deltas via ``LAG``,
+  monotone-trend detection), surfaced by ``python -m repro.telemetry
+  report`` and consumed by the trajectory-aware CI regression gate
+  (``tools/check_bench_regression.py``).
+
+See ``docs/telemetry.md`` for the schema, the span API and example queries.
+"""
+
+from repro.telemetry.recorder import Recorder, configure, get_recorder, set_recorder
+from repro.telemetry.runtime import current_run_id, detect_commit, set_run_id
+from repro.telemetry.store import TelemetryStore, default_db_path
+from repro.telemetry import queries
+
+__all__ = [
+    "Recorder",
+    "configure",
+    "get_recorder",
+    "set_recorder",
+    "current_run_id",
+    "detect_commit",
+    "set_run_id",
+    "TelemetryStore",
+    "default_db_path",
+    "queries",
+]

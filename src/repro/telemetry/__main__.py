@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.telemetry``."""
+
+from repro.telemetry.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""Window-function analytics over the telemetry store.
+
+Each public function here is one SQL query built around a window function —
+``ROW_NUMBER``/``COUNT`` partitioned per run for exact percentiles, framed
+``AVG``/``MIN`` for rolling aggregates over the last N runs, and ``LAG`` for
+per-commit deltas and monotone-trend detection.  They return plain lists of
+dicts (tidy rows) so the report CLI, the CI gate and tests share one shape.
+
+All queries run read-only against the connection a
+:class:`~repro.telemetry.store.TelemetryStore` exposes; the heavy lifting
+stays inside SQLite, which is the point — the analytical path scans history
+without ever touching the emitting processes.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional
+
+Row = Dict[str, object]
+
+
+def _window(last_n: int) -> int:
+    last_n = int(last_n)
+    if last_n < 1:
+        raise ValueError(f"last_n must be >= 1, got {last_n}")
+    return last_n
+
+
+def rolling_percentile(
+    conn: sqlite3.Connection,
+    name: str,
+    last_n: int = 5,
+    quantile: float = 0.99,
+    kind: Optional[str] = None,
+) -> List[Row]:
+    """Per-run exact percentile of an event's values, plus a rolling window.
+
+    For every run (ordered by start time) the query ranks the run's samples
+    of event ``name`` with ``ROW_NUMBER() OVER (PARTITION BY run_id ORDER BY
+    value)`` and picks the ``ceil(q * count)``-th — the exact empirical
+    q-quantile — then smooths it with ``AVG(...) OVER (ORDER BY started_at
+    ROWS BETWEEN n-1 PRECEDING AND CURRENT ROW)``.  With
+    ``name="serve.latency_ms"`` this answers "is p99 serve latency trending
+    up over the last N runs?".
+    """
+    last_n = _window(last_n)
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    permille = int(round(quantile * 1000))
+    rows = conn.execute(
+        f"""
+        WITH samples AS (
+            SELECT e.run_id, r.started_at, e.value,
+                   ROW_NUMBER() OVER (PARTITION BY e.run_id ORDER BY e.value) AS rank,
+                   COUNT(*) OVER (PARTITION BY e.run_id) AS n_samples
+            FROM events e JOIN runs r USING (run_id)
+            WHERE e.name = :name AND (:kind IS NULL OR e.kind = :kind)
+        ),
+        per_run AS (
+            -- the ceil(q * n)-th order statistic, clamped into [1, n]
+            SELECT run_id, started_at, n_samples, value
+            FROM samples
+            WHERE rank = MIN(n_samples,
+                             MAX(1, (n_samples * :permille + 999) / 1000))
+        )
+        SELECT run_id, n_samples, value,
+               AVG(value) OVER trailing AS rolling_value,
+               MAX(value) OVER trailing AS rolling_max
+        FROM per_run
+        WINDOW trailing AS (
+            ORDER BY started_at ROWS BETWEEN {last_n - 1} PRECEDING AND CURRENT ROW
+        )
+        ORDER BY started_at
+        """,
+        {"name": name, "kind": kind, "permille": permille},
+    ).fetchall()
+    return [
+        {
+            "run_id": run_id,
+            "n_samples": int(n_samples),
+            "value": round(float(value), 6),
+            "rolling_value": round(float(rolling), 6),
+            "rolling_max": round(float(rolling_max), 6),
+        }
+        for run_id, n_samples, value, rolling, rolling_max in rows
+    ]
+
+
+def per_run_event_counts(
+    conn: sqlite3.Connection, name: str, last_n: int = 5
+) -> List[Row]:
+    """Per-run occurrence counts of an event, with a rolling trailing sum.
+
+    With ``name="autotuner.resize"`` this is the resize-rate view: a run
+    whose tuner flapped shows up immediately against the rolling window
+    (``SUM(...) OVER (ORDER BY started_at ROWS BETWEEN n-1 PRECEDING AND
+    CURRENT ROW)``).
+    """
+    last_n = _window(last_n)
+    rows = conn.execute(
+        f"""
+        WITH per_run AS (
+            SELECT r.run_id, r.started_at, COUNT(e.name) AS occurrences
+            FROM runs r
+            LEFT JOIN events e ON e.run_id = r.run_id AND e.name = :name
+            GROUP BY r.run_id, r.started_at
+        )
+        SELECT run_id, occurrences,
+               SUM(occurrences) OVER (
+                   ORDER BY started_at
+                   ROWS BETWEEN {last_n - 1} PRECEDING AND CURRENT ROW
+               ) AS trailing_sum
+        FROM per_run
+        ORDER BY started_at
+        """,
+        {"name": name},
+    ).fetchall()
+    return [
+        {
+            "run_id": run_id,
+            "count": int(count),
+            "trailing_sum": int(trailing),
+        }
+        for run_id, count, trailing in rows
+    ]
+
+
+def per_commit_delta(
+    conn: sqlite3.Connection, bench: str, metric: str
+) -> List[Row]:
+    """Per-commit mean of a bench metric and its delta to the previous commit.
+
+    ``LAG(value) OVER (ORDER BY started_at)`` pairs each commit with its
+    predecessor, so "which commit regressed resize latency?" is the row
+    whose ``rel_delta`` went negative.  Runs sharing a commit are averaged
+    first (CI retries, matrix legs).
+    """
+    rows = conn.execute(
+        """
+        WITH per_commit AS (
+            SELECT r.commit_sha, MIN(r.started_at) AS started_at,
+                   AVG(b.value) AS value, COUNT(DISTINCT b.run_id) AS n_runs
+            FROM bench_rows b JOIN runs r USING (run_id)
+            WHERE b.bench = :bench AND b.metric = :metric
+            GROUP BY r.commit_sha
+        )
+        SELECT commit_sha, n_runs, value,
+               value - LAG(value) OVER chrono AS delta,
+               CASE WHEN LAG(value) OVER chrono IS NULL
+                         OR LAG(value) OVER chrono = 0 THEN NULL
+                    ELSE (value - LAG(value) OVER chrono) / LAG(value) OVER chrono
+               END AS rel_delta
+        FROM per_commit
+        WINDOW chrono AS (ORDER BY started_at)
+        ORDER BY started_at
+        """,
+        {"bench": bench, "metric": metric},
+    ).fetchall()
+    return [
+        {
+            "commit": commit,
+            "n_runs": int(n_runs),
+            "value": round(float(value), 6),
+            "delta": None if delta is None else round(float(delta), 6),
+            "rel_delta": None if rel is None else round(float(rel), 6),
+        }
+        for commit, n_runs, value, delta, rel in rows
+    ]
+
+
+def monotone_trend(
+    conn: sqlite3.Connection, bench: str, metric: str, last_n: int = 5
+) -> Row:
+    """Classify the last-N-runs trend of a bench metric.
+
+    ``LAG`` produces each run's step direction; a window where *every* step
+    rose is ``"increasing"``, every step fell is ``"decreasing"``, otherwise
+    ``"mixed"`` (or ``"flat"``/``"insufficient"``).  A monotone decrease in
+    a throughput metric is the trend the trajectory gate exists to catch
+    before any single step trips the 25% threshold.
+    """
+    last_n = _window(last_n)
+    row = conn.execute(
+        """
+        WITH per_run AS (
+            SELECT r.started_at, AVG(b.value) AS value
+            FROM bench_rows b JOIN runs r USING (run_id)
+            WHERE b.bench = :bench AND b.metric = :metric
+            GROUP BY b.run_id
+            ORDER BY r.started_at DESC LIMIT :last_n
+        ),
+        steps AS (
+            SELECT value, value - LAG(value) OVER (ORDER BY started_at) AS step
+            FROM per_run
+        )
+        SELECT COUNT(*) AS n_runs,
+               SUM(step > 0) AS rises,
+               SUM(step < 0) AS falls,
+               SUM(step IS NOT NULL) AS n_steps
+        FROM steps
+        """,
+        {"bench": bench, "metric": metric, "last_n": last_n},
+    ).fetchone()
+    n_runs, rises, falls, steps = (int(v or 0) for v in row)
+    if steps == 0:
+        trend = "insufficient"
+    elif rises == steps:
+        trend = "increasing"
+    elif falls == steps:
+        trend = "decreasing"
+    elif rises == 0 and falls == 0:
+        trend = "flat"
+    else:
+        trend = "mixed"
+    return {"bench": bench, "metric": metric, "n_runs": n_runs, "trend": trend}

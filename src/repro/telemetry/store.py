@@ -1,0 +1,282 @@
+"""The SQLite time-series store: WAL mode, single-writer drain, one schema.
+
+The analytical half of the telemetry plane.  Hot paths never touch this
+module — they append to a :class:`~repro.telemetry.recorder.Recorder` buffer
+and (optionally) spool to per-process JSONL files; the store ingests those
+buffers in bulk transactions, so windowed SQL over history can never stall a
+training or serving loop.
+
+Schema (one normalized surface for everything the system emits):
+
+* ``runs`` — one row per run: ``run_id``, commit sha, host, python version,
+  wall-clock start.  Every other table carries ``run_id``, so history
+  accumulated across runs supports per-commit and last-N-runs windows.
+* ``events`` — counter snapshots, gauges and spans: ``(run_id, pid, seq)``
+  unique (the dedup key that makes spool ingestion idempotent), ``kind``,
+  ``name``, one ``value`` (span durations are seconds), the emitting
+  process's monotonic timestamp, and a JSON ``labels`` column.
+* ``bench_rows`` — benchmark rows in long form: one row per numeric column
+  (``metric``/``value``) with the original row's position and its string
+  identity columns as JSON ``labels``.  Fed by
+  :func:`repro.experiments.record_bench_summary`'s dual-write, so bench
+  history and live telemetry share one query surface.
+
+WAL journal mode keeps readers un-blocked by the writer; a generous busy
+timeout makes concurrent processes (several bench scripts finishing at once)
+serialise instead of erroring.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.telemetry.recorder import Event, Recorder, read_spool_file
+from repro.telemetry.runtime import current_run_id, detect_commit, host_name
+
+#: default store location, next to the JSON bench summary it mirrors
+DEFAULT_DB_NAME = "telemetry.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id     TEXT PRIMARY KEY,
+    commit_sha TEXT NOT NULL DEFAULT 'unknown',
+    host       TEXT NOT NULL DEFAULT 'unknown',
+    python     TEXT NOT NULL DEFAULT '',
+    started_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    run_id       TEXT    NOT NULL,
+    pid          INTEGER NOT NULL,
+    seq          INTEGER NOT NULL,
+    kind         TEXT    NOT NULL CHECK (kind IN ('counter', 'gauge', 'span')),
+    name         TEXT    NOT NULL,
+    value        REAL    NOT NULL,
+    monotonic_ts REAL    NOT NULL,
+    labels       TEXT    NOT NULL DEFAULT '{}',
+    PRIMARY KEY (run_id, pid, seq)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS events_by_name ON events (name, run_id);
+CREATE TABLE IF NOT EXISTS bench_rows (
+    run_id    TEXT    NOT NULL,
+    bench     TEXT    NOT NULL,
+    row_index INTEGER NOT NULL,
+    metric    TEXT    NOT NULL,
+    value     REAL    NOT NULL,
+    labels    TEXT    NOT NULL DEFAULT '{}',
+    PRIMARY KEY (run_id, bench, row_index, metric)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS bench_rows_by_metric ON bench_rows (bench, metric);
+"""
+
+
+def default_db_path(results_dir: Optional[Any] = None) -> Path:
+    """The conventional store location: ``benchmarks/results/telemetry.sqlite``.
+
+    ``REPRO_TELEMETRY_DB`` overrides it (CI jobs and tests point this at a
+    private file).
+    """
+    override = os.environ.get("REPRO_TELEMETRY_DB")
+    if override:
+        return Path(override)
+    if results_dir is not None:
+        return Path(results_dir) / DEFAULT_DB_NAME
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results" / DEFAULT_DB_NAME
+
+
+class TelemetryStore:
+    """Owns one SQLite telemetry database; see the module docstring.
+
+    Usable as a context manager; :meth:`connection` exposes the underlying
+    ``sqlite3.Connection`` for the query layer.
+    """
+
+    def __init__(self, path: Any, busy_timeout_s: float = 10.0) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(os.fspath(self.path), timeout=busy_timeout_s)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def connection(self) -> sqlite3.Connection:
+        return self._conn
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "TelemetryStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- runs --------------------------------------------------------------------------
+    def record_run(
+        self,
+        run_id: Optional[str] = None,
+        commit_sha: Optional[str] = None,
+        host: Optional[str] = None,
+        python: Optional[str] = None,
+        started_at: Optional[float] = None,
+    ) -> str:
+        """Upsert one run's metadata row; returns the run id.
+
+        Idempotent per run: the first call fixes ``started_at``; later calls
+        only fill in metadata that was previously unknown.
+        """
+        import platform
+
+        run_id = run_id or current_run_id()
+        self._conn.execute(
+            "INSERT INTO runs (run_id, commit_sha, host, python, started_at) "
+            "VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT (run_id) DO UPDATE SET "
+            "commit_sha = CASE WHEN runs.commit_sha = 'unknown' "
+            "             THEN excluded.commit_sha ELSE runs.commit_sha END",
+            (
+                run_id,
+                commit_sha if commit_sha is not None else detect_commit(),
+                host if host is not None else host_name(),
+                python if python is not None else platform.python_version(),
+                started_at if started_at is not None else time.time(),
+            ),
+        )
+        self._conn.commit()
+        return run_id
+
+    # -- events ------------------------------------------------------------------------
+    def insert_events(
+        self, run_id: str, pid: int, events: Iterable[Mapping[str, Any] | Event]
+    ) -> int:
+        """Insert events for one ``(run, pid)``; duplicates are ignored.
+
+        Accepts either recorder event tuples or spool-file dicts.  Returns
+        the number of rows actually inserted (idempotence makes re-ingesting
+        a spool file a no-op).
+        """
+        rows: List[Tuple[Any, ...]] = []
+        for event in events:
+            if isinstance(event, tuple):
+                seq, kind, name, value, ts, labels = event
+            else:
+                seq, kind, name = event["seq"], event["kind"], event["name"]
+                value, ts = event["value"], event.get("ts", 0.0)
+                labels = event.get("labels", {})
+            rows.append(
+                (run_id, pid, seq, kind, name, value, ts, json.dumps(labels, sort_keys=True))
+            )
+        if not rows:
+            return 0
+        before = self._changes_total()
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO events "
+            "(run_id, pid, seq, kind, name, value, monotonic_ts, labels) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+        return self._changes_total() - before
+
+    def _changes_total(self) -> int:
+        return int(self._conn.execute("SELECT total_changes()").fetchone()[0])
+
+    def drain(self, recorder: Recorder, run_id: Optional[str] = None) -> int:
+        """Ingest a live recorder's in-memory buffer (the in-process path)."""
+        run_id = run_id or recorder.run_id
+        self.record_run(run_id)
+        return self.insert_events(run_id, recorder.pid, recorder.drain())
+
+    def ingest_spool(self, spool_dir: Any, remove: bool = True) -> int:
+        """Single-writer drain of every per-process spool file in a directory.
+
+        One transaction per file; a file is deleted only after its events
+        committed, and the ``(run_id, pid, seq)`` key makes a re-ingested
+        file (e.g. after a crash between commit and unlink) insert nothing.
+        Returns the number of new event rows.
+        """
+        inserted = 0
+        for path in sorted(glob.glob(os.path.join(os.fspath(spool_dir), "events-*.jsonl"))):
+            name = os.path.basename(path)
+            run_id = name[len("events-") :].rsplit("-", 1)[0]
+            self.record_run(run_id)
+            events = [event for _, event in read_spool_file(path)]
+            pid_from_name = int(name[: -len(".jsonl")].rsplit("-", 1)[1])
+            inserted += self.insert_events(run_id, pid_from_name, events)
+            if remove:
+                os.unlink(path)
+        return inserted
+
+    # -- bench rows --------------------------------------------------------------------
+    def insert_bench_rows(
+        self,
+        bench: str,
+        rows: Sequence[Mapping[str, Any]],
+        run_id: Optional[str] = None,
+    ) -> int:
+        """Replace one bench's rows for this run (last-writer-wins, like the JSON).
+
+        Numeric columns become ``(metric, value)`` rows; string/bool columns
+        become the shared ``labels`` JSON, mirroring how the regression gate
+        separates measurements from row identity.
+        """
+        run_id = run_id or current_run_id()
+        self.record_run(run_id)
+        flat: List[Tuple[Any, ...]] = []
+        for index, row in enumerate(rows):
+            labels = {
+                key: value
+                for key, value in row.items()
+                if isinstance(value, (str, bool))
+            }
+            labels_json = json.dumps(labels, sort_keys=True)
+            for key, value in row.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                flat.append((run_id, bench, index, key, float(value), labels_json))
+        with self._conn:  # one transaction: delete + insert is atomic
+            self._conn.execute(
+                "DELETE FROM bench_rows WHERE run_id = ? AND bench = ?", (run_id, bench)
+            )
+            self._conn.executemany(
+                "INSERT INTO bench_rows (run_id, bench, row_index, metric, value, labels) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                flat,
+            )
+        return len(flat)
+
+    def bench_history(
+        self,
+        bench: str,
+        row_index: int,
+        metric: str,
+        last_n: int,
+        exclude_run: Optional[str] = None,
+    ) -> List[Tuple[str, float]]:
+        """The metric's last-N prior values, newest first: ``(run_id, value)``.
+
+        The trajectory regression gate compares a fresh measurement against
+        this window (excluding the run being gated).
+        """
+        rows = self._conn.execute(
+            "SELECT b.run_id, b.value FROM bench_rows b JOIN runs r USING (run_id) "
+            "WHERE b.bench = ? AND b.row_index = ? AND b.metric = ? "
+            "AND (? IS NULL OR b.run_id != ?) "
+            "ORDER BY r.started_at DESC LIMIT ?",
+            (bench, row_index, metric, exclude_run, exclude_run, int(last_n)),
+        ).fetchall()
+        return [(run_id, float(value)) for run_id, value in rows]
+
+    # -- introspection -----------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Row counts per table (reporting and test assertions)."""
+        return {
+            table: int(self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0])
+            for table in ("runs", "events", "bench_rows")
+        }

@@ -1,11 +1,31 @@
-"""Logging configuration shared across the library."""
+"""Logging configuration shared across the library.
+
+Every record carries the telemetry ``run_id`` (see
+:mod:`repro.telemetry.runtime`), so log lines and telemetry rows emitted by
+the same run are joinable: grep the log for ``run=<id>`` and query the store
+for the same ``run_id``.
+"""
 
 from __future__ import annotations
 
 import logging
 
-_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_FORMAT = "%(asctime)s %(name)s %(levelname)s run=%(run_id)s %(message)s"
 _configured = False
+
+
+class _RunIdFilter(logging.Filter):
+    """Stamps records with the process tree's telemetry run id."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "run_id"):
+            # Imported lazily: the telemetry runtime is dependency-free, but
+            # keeping it off the module import path avoids any cycle with
+            # packages that log during their own import.
+            from repro.telemetry.runtime import current_run_id
+
+            record.run_id = current_run_id()
+        return True
 
 
 def configure(level: int = logging.INFO) -> None:
@@ -15,6 +35,7 @@ def configure(level: int = logging.INFO) -> None:
         return
     handler = logging.StreamHandler()
     handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(_RunIdFilter())
     root = logging.getLogger("repro")
     root.addHandler(handler)
     root.setLevel(level)

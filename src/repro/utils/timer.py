@@ -34,6 +34,22 @@ class Timer:
     def total(self, label: str = "default") -> float:
         return sum(self.laps.get(label, []))
 
+    def to_span(self, recorder, prefix: str = "timer.", **labels) -> int:
+        """Bridge accumulated laps into telemetry span events.
+
+        Each recorded lap becomes one ``<prefix><label>`` span on
+        ``recorder`` (a :class:`repro.telemetry.Recorder`), so ad-hoc Timer
+        measurements join the same queryable store as the instrumented hot
+        paths.  Laps stay in place (the bridge may be called once at the end
+        of a harness); returns the number of spans emitted.
+        """
+        emitted = 0
+        for label, laps in self.laps.items():
+            for elapsed in laps:
+                recorder.record_span(f"{prefix}{label}", elapsed, **labels)
+                emitted += 1
+        return emitted
+
     def __enter__(self) -> "Timer":
         return self.start()
 

@@ -157,7 +157,12 @@ class TestRecordBenchSummary:
 
         path = tmp_path / "BENCH_summary.json"
         record_bench_summary(path, "only", [{"x_per_s": 1.0}])
-        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_summary.json"]
+        # The atomic-write temp file is gone; what remains is the summary and
+        # the telemetry store the rows were dual-written into.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "BENCH_summary.json",
+            "telemetry.sqlite",
+        ]
 
     def test_parallel_writers_never_tear_the_file(self, tmp_path):
         """Concurrent merges (parallel benchmark jobs) leave a parseable file
