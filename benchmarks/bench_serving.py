@@ -1,6 +1,6 @@
 """Serving-plane benchmark: micro-batched inference, off-path and pooled evaluation.
 
-Four measurements of the `repro.serve` subsystem:
+Five measurements of the `repro.serve` subsystem:
 
 * **Micro-batching** — a closed-loop load generator (many client threads,
   single-sample requests) drives the :class:`~repro.serve.inference.InferenceServer`
@@ -30,6 +30,13 @@ Four measurements of the `repro.serve` subsystem:
   the per-batch Python overhead across versions even on one core) while
   producing the same accuracies.
 
+* **Inference-pool scaling** — the same stream of request batches pushed
+  through an :class:`~repro.serve.scaling.InferencePool` with 1 active
+  worker and with 4 workers claiming from the shared request slot ring; on
+  a ≥ 4-core host the 4-worker pool must deliver ≥ 2x sample throughput,
+  and the logits are asserted bit-identical to an inline forward either way
+  (concurrency reorders completions, never a result).
+
 Run under pytest for CSV reporting, or standalone for the CI smoke check:
 
     PYTHONPATH=src python -m pytest -q -s benchmarks/bench_serving.py
@@ -49,11 +56,13 @@ import numpy as np
 from repro.engine import CrossbowConfig, CrossbowTrainer, process_execution_supported
 from repro.models import create_model
 from repro.nn.metrics import evaluate_top1
+from repro.tensor.tensor import Tensor, no_grad
 from repro.serve import (
     BatchedEvaluator,
     Checkpoint,
     EvaluationService,
     EvaluatorPool,
+    InferencePool,
     InferenceServer,
 )
 from repro.utils.rng import RandomState
@@ -424,6 +433,103 @@ def test_batched_evaluation(report):
         )
 
 
+# --------------------------------------------------------- pooled inference scaling
+INFER_POOL_WORKERS = 4
+INFER_POOL_TARGET_SPEEDUP = 2.0  # 4 active workers vs 1 on the same slot ring
+INFER_BATCHES = 24  # request batches per timing run
+SMOKE_INFER_BATCHES = 6
+INFER_BATCH_SAMPLES = 32
+
+
+def _inference_scaling_rows(num_batches: int) -> List[Dict[str, object]]:
+    """Time the same request stream at 1 and 4 active pool workers.
+
+    The parent thread plays the serving front-end: publish a batch into the
+    slot ring, opportunistically drain finished tickets, block for the tail.
+    Logits are asserted bit-identical to an inline forward on an identical
+    clone — the pooled plane changes completion order, never a result.
+    """
+    model = _model()
+    batches = [
+        RandomState(17 + index)
+        .normal(size=(INFER_BATCH_SAMPLES, SERVE_INPUT_DIM))
+        .astype(np.float32)
+        for index in range(num_batches)
+    ]
+    reference = model.clone()
+    reference.eval()
+    with no_grad():
+        expected = [reference(Tensor(batch)).data for batch in batches]
+
+    rows: List[Dict[str, object]] = []
+    for workers in (1, INFER_POOL_WORKERS):
+        with InferencePool(
+            model,
+            sample_shape=(SERVE_INPUT_DIM,),
+            workers=workers,
+            max_batch_samples=INFER_BATCH_SAMPLES,
+        ) as pool:
+            # Warm every active worker (first forward pays BLAS/init cost).
+            for ticket in range(workers):
+                pool.publish(ticket, batches[ticket % num_batches])
+            while pool.in_flight:
+                pool.collect(block=True)
+
+            logits: Dict[int, np.ndarray] = {}
+
+            def _absorb(payloads) -> None:
+                for ticket, data, error in payloads:
+                    assert error is None, f"pool worker failed:\n{error}"
+                    logits[ticket] = data
+
+            started = time.perf_counter()
+            for ticket, batch in enumerate(batches):
+                pool.publish(ticket, batch)
+                _absorb(pool.collect(block=False))
+            while pool.in_flight:
+                _absorb(pool.collect(block=True))
+            elapsed = time.perf_counter() - started
+
+        assert all(
+            np.array_equal(logits[ticket], expected[ticket])
+            for ticket in range(num_batches)
+        ), "pooled logits diverged from the inline forward"
+        samples = num_batches * INFER_BATCH_SAMPLES
+        rows.append(
+            {
+                "workers": workers,
+                "batches": num_batches,
+                "samples": samples,
+                "seconds": round(elapsed, 4),
+                "samples_per_s": round(samples / elapsed, 1),
+            }
+        )
+    baseline, pooled = rows
+    pooled["speedup_vs_1_worker"] = round(
+        pooled["samples_per_s"] / baseline["samples_per_s"], 2
+    )
+    baseline["speedup_vs_1_worker"] = 1.0
+    return rows
+
+
+def test_inference_pool_scaling(report):
+    if not process_execution_supported():
+        import pytest
+
+        pytest.skip("requires the fork start method")
+    rows = _inference_scaling_rows(INFER_BATCHES)
+    report("serving_inference_scaling", rows)
+    baseline, pooled = rows
+    # Parallel forwards need spare cores; ratios on busy/small hosts are
+    # noise — record everywhere, assert where the premise holds.
+    if _strict() and (os.cpu_count() or 1) >= MIN_CORES_FOR_ASSERT:
+        assert pooled["speedup_vs_1_worker"] >= INFER_POOL_TARGET_SPEEDUP, (
+            f"{INFER_POOL_WORKERS}-worker inference pool only "
+            f"{pooled['speedup_vs_1_worker']}x over 1 worker "
+            f"(target {INFER_POOL_TARGET_SPEEDUP}x)"
+        )
+
+
 # ----------------------------------------------------------------------- CLI / smoke
 def main(argv: Optional[List[str]] = None) -> int:
     # Standalone runs bypass the pytest report fixture; the conftest helpers
@@ -452,6 +558,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"ok: {micro['requests']} requests served, micro-batching "
         f"{micro['speedup_vs_batch1']}x over batch-1 at p99={micro['p99_ms']}ms"
     )
+
+    if process_execution_supported():
+        # The pooled plane: bit-identity is asserted inside the helper on
+        # every run; the speedup ratio is a strict gate only on full runs
+        # with enough cores (the smoke run just proves the protocol).
+        pool_batches = SMOKE_INFER_BATCHES if args.smoke else INFER_BATCHES
+        pool_rows = _inference_scaling_rows(pool_batches)
+        conftest.standalone_report(
+            "serving_inference_scaling_smoke"
+            if args.smoke
+            else "serving_inference_scaling_cli",
+            pool_rows,
+        )
+        _, pooled = pool_rows
+        if (
+            not args.smoke
+            and _strict()
+            and (os.cpu_count() or 1) >= MIN_CORES_FOR_ASSERT
+            and pooled["speedup_vs_1_worker"] < INFER_POOL_TARGET_SPEEDUP
+        ):
+            print(
+                f"FAIL: {INFER_POOL_WORKERS}-worker pool speedup "
+                f"{pooled['speedup_vs_1_worker']}x < {INFER_POOL_TARGET_SPEEDUP}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"ok: {pooled['samples']} samples through the inference pool, "
+            f"{INFER_POOL_WORKERS} workers {pooled['speedup_vs_1_worker']}x over 1"
+        )
     return 0
 
 

@@ -22,13 +22,27 @@ the *transactional write path* (training), the same split HTAP systems make:
   front-end with max-batch/max-latency coalescing knobs, between-batch hot
   swap to the newest published checkpoint, and request admission control
   (bounded queue with reject / shed-oldest / degrade policies, per-request
-  deadlines, :class:`ServeCounters` observability).
+  deadlines, :class:`ServeCounters` observability),
+* :mod:`repro.serve.scaling` — the multi-process inference plane:
+  :class:`InferencePool` (N forked inference workers over a request-tensor
+  slot ring, resized in place by parking/resuming workers),
+  :class:`PooledInferenceServer` (the same front door, forward passes fanned
+  across the pool, responses matched to futures by ticket), and
+  :class:`ServingAutoTuner` (Algorithm 2's observe/decide machinery running
+  setpoint control on the telemetry plane's
+  :func:`~repro.telemetry.queries.load_signal`).
 """
 
 from repro.serve.checkpoint import Checkpoint, CheckpointStore
 from repro.serve.evaluation import EvaluationService, EvaluationTicket
 from repro.serve.inference import InferenceServer, ServeCounters, ServingStats
 from repro.serve.pool import BatchedEvaluator, EvaluatorPool
+from repro.serve.scaling import (
+    InferencePool,
+    PooledInferenceServer,
+    ServingAutoTuner,
+    autoscale_step,
+)
 
 __all__ = [
     "BatchedEvaluator",
@@ -37,7 +51,11 @@ __all__ = [
     "EvaluationService",
     "EvaluationTicket",
     "EvaluatorPool",
+    "InferencePool",
     "InferenceServer",
+    "PooledInferenceServer",
     "ServeCounters",
     "ServingStats",
+    "ServingAutoTuner",
+    "autoscale_step",
 ]

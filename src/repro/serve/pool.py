@@ -40,7 +40,7 @@ import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -93,7 +93,14 @@ class _PoolWorkerState:
     results: Any  # multiprocessing.Queue shared across workers
 
 
-def _claim_ready_slot(state: _PoolWorkerState) -> Optional[Tuple[int, int]]:
+class _ClaimableState(Protocol):
+    """What a worker state must expose for the claim scan (any slot-ring pool)."""
+
+    meta: np.ndarray
+    lock: Any
+
+
+def _claim_ready_slot(state: _ClaimableState) -> Optional[Tuple[int, int]]:
     """READY -> CLAIMED edge: claim the READY slot with the lowest ticket.
 
     Runs entirely under the cross-process lock, so exactly one worker wins

@@ -1,0 +1,815 @@
+"""Multi-process inference plane with telemetry-driven autoscaling.
+
+The :class:`~repro.serve.inference.InferenceServer` of PR 5 coalesces
+requests well but runs every forward pass in the parent process — one CPU
+worth of serving capacity no matter how hard the front door is pressed.
+This module puts a forked worker pool behind the same front-end, closing the
+"millions of users" loop the ROADMAP names: admission control bounds the
+front door, the pool scales the back end, and the resize protocol that
+already serves the training plane serves inference too.
+
+* :class:`InferencePool` — N forked inference workers over a request-tensor
+  slot ring.  The ring mirrors :class:`~repro.serve.pool.EvaluatorPool`'s
+  claim protocol exactly — the same ``(num_slots, 2)`` int64 meta matrix,
+  the same EMPTY/FILLING/READY/CLAIMED state machine, and literally the same
+  transition helpers imported from :mod:`repro.serve.pool` (the analyzer's
+  R2 rule keeps every state-word edge inside those five functions).  The
+  parent publishes flattened request tensors into free slots; workers claim
+  READY slots under the cross-process lock, copy them out, free the slot
+  before the (slow) forward pass, and send ``(ticket, logits)`` back on the
+  shared results queue.
+
+* **Resize without respawn.** The pool pre-forks ``max_workers`` processes
+  up front — before the serving threads exist, because forking a process
+  that already runs threads is exactly the hazard the analyzer's R3 rule
+  rejects — and :meth:`InferencePool.resize` grows/shrinks the *active*
+  worker count in place by parking and resuming workers on a semaphore.
+  This is the serving-plane instantiation of the PR-4
+  reshard-without-respawn protocol: survivors are untouched, nothing is
+  respawned, and a resize costs zero forks and zero joins.
+
+* :class:`PooledInferenceServer` — the :class:`InferenceServer` subclass
+  that routes batches through the pool.  Admission control, micro-batch
+  coalescing, deadlines and :class:`~repro.serve.inference.ServeCounters`
+  are all inherited unchanged; only the execution of a formed batch differs:
+  the batch is published under a ticket and its futures are resolved when
+  the matching response arrives.  Responses are matched to futures *by
+  ticket* and a resolved ticket is dropped from the in-flight table, so
+  every request resolves exactly once even when a recovery re-publishes
+  work a dying worker may already have computed.  With one worker the
+  arithmetic per batch is byte-for-byte the in-process server's
+  (``model(Tensor(images)).data`` on an identical clone), so fixed-seed
+  single-worker results are bit-identical to :class:`InferenceServer`.
+
+* :class:`ServingAutoTuner` — Algorithm 2 pointed at the serving plane.  It
+  *is* an :class:`~repro.engine.autotuner.AutoTuner` (same dead band ``τ``,
+  same shrink-side ``hysteresis`` damping, same bounds/history/convergence
+  machinery), but where the training tuner hill-climbs on throughput gain,
+  the serving tuner runs setpoint control on a dimensionless load pressure
+  built from the telemetry plane's queue-depth percentiles and
+  deadline-miss rates (:func:`repro.telemetry.queries.load_signal`):
+  pressure above ``1 + τ`` grows the pool, pressure below
+  ``1 - (τ + hysteresis)`` shrinks it, anything inside the dead band keeps.
+
+The signal path is deliberately indirect — server → recorder → store →
+``load_signal`` query → tuner — so the scaler consumes the same queryable
+history CI and the report CLI read, not ad-hoc in-process state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_module
+import sqlite3
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.sanitizer import guard_for
+from repro.engine.autotuner import AutoTuner, AutoTunerDecision
+from repro.engine.executor import ForkedWorkerPool, SharedMatrix, _ProcessHandle
+from repro.errors import ConfigurationError, SchedulingError
+from repro.nn.module import Module
+from repro.serve.checkpoint import Checkpoint
+from repro.serve.inference import InferenceServer, _Request
+from repro.serve.pool import (
+    _abort_filling_slot,
+    _claim_ready_slot,
+    _free_claimed_slot,
+    _publish_ready_slot,
+    _reserve_empty_slot,
+)
+from repro.telemetry.queries import load_signal
+from repro.telemetry.recorder import get_recorder
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.scaling")
+
+#: seconds the parent waits for one inference result / free slot before
+#: declaring the pool dead (shorter than the evaluator pool's bound: a
+#: single inference batch is milliseconds, not a test-set pass)
+_RESULT_TIMEOUT_S = 60.0
+
+#: one pool response: (ticket, logits, error-traceback-or-None)
+PoolResult = Tuple[int, Optional[np.ndarray], Optional[str]]
+
+
+@dataclass
+class _InferenceWorkerState:
+    """Everything one inference worker needs; inherited via fork, never pickled."""
+
+    worker_id: int
+    model: Module
+    sample_shape: Tuple[int, ...]
+    sample_size: int  # int(prod(sample_shape))
+    requests: np.ndarray  # (num_slots, max_batch_samples * sample_size) shared float32
+    sizes: np.ndarray  # (num_slots, 1) shared int64: samples published per slot
+    meta: np.ndarray  # (num_slots, 2) shared int64 [state, ticket]
+    stop_flag: np.ndarray  # (1, 1) shared int64, nonzero => exit
+    park_pending: np.ndarray  # (1, 1) shared int64: workers asked to deactivate
+    lock: Any  # multiprocessing.Lock guarding every meta state transition
+    ready: Any  # multiprocessing.Semaphore counting READY slots (+ wakeups)
+    free: Any  # multiprocessing.Semaphore counting EMPTY slots
+    resume: Any  # multiprocessing.Semaphore waking parked workers
+    results: Any  # multiprocessing.Queue shared across workers
+
+
+def _inference_worker_main(state: _InferenceWorkerState) -> None:
+    """Worker body: claim request slots, run the forward pass, repeat until stopped.
+
+    The slot is freed *before* the forward pass runs — exactly the
+    :func:`repro.serve.pool._pool_worker_main` discipline — so the ring turns
+    over at publish speed and a small ring keeps every active worker busy.
+    A worker woken while ``park_pending`` is raised deactivates instead of
+    claiming: it blocks on the ``resume`` semaphore until a grow (or stop)
+    wakes it, which is how :meth:`InferencePool.resize` changes capacity
+    without forking or joining anything.
+    """
+    model = state.model
+    while True:
+        state.ready.acquire()
+        with state.lock:
+            if state.stop_flag[0, 0]:
+                return
+            parked = state.park_pending[0, 0] > 0
+            if parked:
+                state.park_pending[0, 0] -= 1
+        if parked:
+            state.resume.acquire()
+            with state.lock:
+                if state.stop_flag[0, 0]:
+                    return
+            continue
+        ticket = -1
+        try:
+            claim = _claim_ready_slot(state)
+            if claim is None:  # pragma: no cover - shutdown/park wakeup race
+                continue
+            slot, ticket = claim
+            # Sanitized window: the claim made this worker the slot's only
+            # reader until it is freed; the parent must not be writing it.
+            with guard_for(state.requests).read(slot), guard_for(state.sizes).read(slot):
+                n = int(state.sizes[slot, 0])
+                flat = np.array(state.requests[slot, : n * state.sample_size], copy=True)
+            _free_claimed_slot(state.meta, state.lock, slot)
+            state.free.release()
+            images = flat.reshape((n,) + state.sample_shape)
+            with no_grad():
+                logits = model(Tensor(images)).data
+            state.results.put((ticket, np.asarray(logits), None))
+        except Exception:  # noqa: BLE001 - forwarded to the parent verbatim
+            state.results.put((ticket, None, traceback.format_exc()))
+
+
+class InferencePool(ForkedWorkerPool):
+    """N forked inference workers over one shared-memory request slot ring.
+
+    Parameters
+    ----------
+    model_template : Module
+        Same-architecture module; cloned once (in eval mode), the clone is
+        inherited by every forked worker.
+    sample_shape : sequence of int
+        Trailing per-sample shape of every request tensor (requests are
+        ``(n,) + sample_shape`` arrays).
+    workers : int
+        Initially *active* worker processes.
+    max_workers : int, optional
+        Worker processes forked up front (default: ``workers``).  All forks
+        happen at construction — before any serving thread exists — so
+        resizes never fork from a threaded process (the R3 fork-safety
+        hazard); :meth:`resize` moves the active count anywhere in
+        ``[1, max_workers]`` by parking/resuming workers in place.
+    num_slots : int, optional
+        Shared request slots; defaults to ``max(2 * max_workers, 4)``.
+        :meth:`publish` blocks (backpressure) when every slot is occupied.
+    max_batch_samples : int
+        Widest batch one slot can carry (the front-end's ``max_batch_size``).
+    """
+
+    def __init__(
+        self,
+        model_template: Module,
+        sample_shape: Sequence[int],
+        workers: int = 1,
+        max_workers: Optional[int] = None,
+        num_slots: Optional[int] = None,
+        max_batch_samples: int = 32,
+    ) -> None:
+        max_workers = workers if max_workers is None else max_workers
+        if workers < 1:
+            raise ConfigurationError("inference pool needs at least one active worker")
+        if max_workers < workers:
+            raise ConfigurationError(
+                f"max_workers={max_workers} is below the initial workers={workers}"
+            )
+        if max_batch_samples < 1:
+            raise ConfigurationError("max_batch_samples must be >= 1")
+        num_slots = max(2 * max_workers, 4) if num_slots is None else num_slots
+        if num_slots < 1:
+            raise ConfigurationError("inference pool needs at least one shared slot")
+        super().__init__()
+        self.num_slots = num_slots
+        self.max_batch_samples = max_batch_samples
+        self.in_flight = 0
+        self._sample_shape = tuple(int(dim) for dim in sample_shape)
+        self._sample_size = int(np.prod(self._sample_shape, dtype=np.int64))
+        if self._sample_size < 1:
+            raise ConfigurationError(f"degenerate sample_shape {self._sample_shape}")
+        model = model_template.clone()
+        model.eval()
+        self._requests = SharedMatrix(num_slots, max_batch_samples * self._sample_size)
+        self._sizes = SharedMatrix(num_slots, 1, dtype=np.int64)
+        self._meta = SharedMatrix(num_slots, 2, dtype=np.int64)
+        self._stop_flag = SharedMatrix(1, 1, dtype=np.int64)
+        self._park_pending = SharedMatrix(1, 1, dtype=np.int64)
+        self._lock = self._ctx.Lock()
+        self._ready = self._ctx.Semaphore(0)
+        self._free = self._ctx.Semaphore(num_slots)
+        self._resume = self._ctx.Semaphore(0)
+        for worker_id in range(max_workers):
+            state = _InferenceWorkerState(
+                worker_id=worker_id,
+                model=model,
+                sample_shape=self._sample_shape,
+                sample_size=self._sample_size,
+                requests=self._requests.array,
+                sizes=self._sizes.array,
+                meta=self._meta.array,
+                stop_flag=self._stop_flag.array,
+                park_pending=self._park_pending.array,
+                lock=self._lock,
+                ready=self._ready,
+                free=self._free,
+                resume=self._resume,
+                results=self._results,
+            )
+            process = self._fork(
+                _inference_worker_main, state, name=f"inference-worker-{worker_id}"
+            )
+            self._handles.append(_ProcessHandle(process=process))
+        self._active = max_workers
+        if workers < max_workers:
+            self._apply_resize(workers)
+
+    # -- publish side --------------------------------------------------------------------
+    def publish(self, ticket: int, images: np.ndarray) -> None:
+        """Publish one request batch into a free slot (blocking when the ring is full).
+
+        The wait for a free slot polls worker liveness, so a crashed pool
+        surfaces as a :class:`~repro.errors.SchedulingError` instead of an
+        indefinite block.
+        """
+        if self._stopped:
+            raise ConfigurationError("inference pool is stopped")
+        batch = np.ascontiguousarray(images, dtype=np.float32)
+        if batch.ndim < 2 or tuple(batch.shape[1:]) != self._sample_shape:
+            raise ConfigurationError(
+                f"requests are (n,) + {self._sample_shape} arrays, got shape {batch.shape}"
+            )
+        n = int(batch.shape[0])
+        if not 1 <= n <= self.max_batch_samples:
+            raise ConfigurationError(
+                f"batch of {n} samples does not fit a slot of {self.max_batch_samples}"
+            )
+        deadline = time.monotonic() + _RESULT_TIMEOUT_S
+        while not self._free.acquire(timeout=1.0):
+            dead = self.dead_workers()
+            if dead:
+                raise SchedulingError(
+                    f"inference worker(s) {dead} died while the request ring was full"
+                )
+            if time.monotonic() > deadline:
+                raise SchedulingError("timed out waiting for a free request slot")
+        with get_recorder().span("serve.pool_publish"):
+            slot = _reserve_empty_slot(self._meta.array, self._lock)
+            try:
+                # Sanitized window: FILLING reservation makes the parent the
+                # slot's exclusive writer until publish or rollback.
+                with self._requests.sanitizer.write(slot), self._sizes.sanitizer.write(slot):
+                    self._sizes.array[slot, 0] = n
+                    self._requests.array[slot, : n * self._sample_size] = batch.reshape(-1)
+            except Exception:
+                _abort_filling_slot(self._meta.array, self._lock, slot)
+                self._free.release()
+                raise
+            _publish_ready_slot(self._meta.array, self._lock, slot, ticket)
+        self.in_flight += 1
+        self._ready.release()
+
+    # -- result side ---------------------------------------------------------------------
+    def collect(self, block: bool = False) -> List[PoolResult]:
+        """Dequeued ``(ticket, logits, error)`` payloads; blocks for one if asked.
+
+        Unlike the evaluator pool, a worker-side failure is *returned* (as a
+        payload with a traceback string) instead of raised: the front-end
+        fails that ticket's futures and keeps serving.  The blocking path
+        still raises :class:`~repro.errors.SchedulingError` when a worker
+        died without reporting or the wait times out.
+        """
+        payloads: List[PoolResult] = []
+        while self.in_flight:
+            if block and not payloads:
+                payload = self._wait_result(
+                    time.monotonic() + _RESULT_TIMEOUT_S, what="an inference result"
+                )
+            else:
+                try:
+                    payload = self._results.get_nowait()
+                except queue_module.Empty:
+                    break
+            self.in_flight -= 1
+            payloads.append(payload)
+        return payloads
+
+    # -- in-place resize -----------------------------------------------------------------
+    @property
+    def active_workers(self) -> int:
+        """Workers currently serving (the rest are parked, not terminated)."""
+        return self._active
+
+    def resize(self, target: int) -> int:
+        """Grow/shrink the active worker count in place; returns the new count.
+
+        Shrinking raises a shared ``park_pending`` counter under the ring
+        lock and wakes that many workers; each one decrements the counter
+        and blocks on the ``resume`` semaphore instead of claiming.  Growing
+        first cancels still-pending parks (atomically, under the same lock),
+        then resumes parked workers for the remainder.  No process is
+        forked, stopped or joined — the serving-plane analogue of the
+        training pool's reshard-without-respawn resize.
+        """
+        if self._stopped:
+            raise ConfigurationError("inference pool is stopped")
+        if not 1 <= target <= self.num_workers:
+            raise ConfigurationError(
+                f"resize target {target} outside [1, {self.num_workers}] "
+                "(max_workers is fixed at construction)"
+            )
+        if target == self._active:
+            return self._active
+        direction = "grow" if target > self._active else "shrink"
+        self._apply_resize(target)
+        get_recorder().counter(
+            "serve.pool_resize", 1.0, direction=direction, workers=target
+        )
+        logger.debug("resized inference pool to %d active workers (%s)", target, direction)
+        return self._active
+
+    def _apply_resize(self, target: int) -> None:
+        delta = target - self._active
+        if delta > 0:
+            with self._lock:
+                pending = int(self._park_pending.array[0, 0])
+                cancelled = min(delta, pending)
+                if cancelled:
+                    self._park_pending.array[0, 0] = pending - cancelled
+            for _ in range(delta - cancelled):
+                self._resume.release()
+        else:
+            with self._lock:
+                self._park_pending.array[0, 0] += -delta
+            for _ in range(-delta):
+                self._ready.release()
+        self._active = target
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def dead_workers(self) -> List[str]:
+        """Names of worker processes that exited (parked workers stay alive)."""
+        return [p.name for p in self._processes() if not p.is_alive()]
+
+    def _request_stop(self) -> None:
+        # Raise the stop latch under the ring lock (serialising with claim
+        # scans), then wake every worker on both semaphores: active workers
+        # blocked on `ready` and parked workers blocked on `resume` each see
+        # the latch and exit.
+        with self._lock:
+            self._stop_flag.array[0, 0] = 1
+            self._park_pending.array[0, 0] = 0
+        for _ in self._handles:
+            self._ready.release()
+            self._resume.release()
+
+    def _close_segments(self) -> None:
+        for shared in (
+            self._requests,
+            self._sizes,
+            self._meta,
+            self._stop_flag,
+            self._park_pending,
+        ):
+            shared.close()
+
+    def close(self) -> None:
+        """Stop the workers and release every shared segment (idempotent)."""
+        self.stop()
+        self._close_segments()
+
+    def terminate(self) -> None:
+        """Forcible teardown that never touches the ring lock.
+
+        The cooperative :meth:`close` path acquires the cross-process lock to
+        raise the stop latch — which deadlocks if a worker was killed while
+        holding it.  Recovery after a worker death therefore terminates the
+        processes outright and releases the segments; the replacement pool
+        is a fresh construction.
+        """
+        self._stopped = True
+        for process in self._processes():
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        self._results.close()
+        self._close_segments()
+
+    def __enter__(self) -> "InferencePool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class PooledInferenceServer(InferenceServer):
+    """An :class:`InferenceServer` whose forward passes run on an :class:`InferencePool`.
+
+    The front door is inherited unchanged — admission policies, deadlines,
+    micro-batch coalescing, :class:`~repro.serve.inference.ServeCounters` —
+    so every conservation identity the scenario harness asserts for the
+    in-process server holds here too.  A formed batch is published to the
+    pool under a fresh ticket instead of running inline; the serving loop
+    opportunistically drains responses (and a final drain runs at
+    :meth:`stop`), resolving each ticket's futures exactly once.
+
+    Parameters beyond the :class:`InferenceServer` ones
+    --------------------------------------------------
+    sample_shape : sequence of int
+        Trailing per-sample shape of request tensors.
+    workers, max_workers, num_slots :
+        Forwarded to :class:`InferencePool` (``max_batch_size`` caps the
+        samples per slot).  A single request larger than ``max_batch_size``
+        falls back to the inherited in-process forward pass.
+    max_recoveries : int
+        How many times a dead pool is rebuilt (and unresolved tickets
+        re-published) before in-flight futures are failed.
+
+    Notes
+    -----
+    Checkpoints are applied *before* the workers fork, so the pool serves a
+    fixed snapshot; there is no between-batch hot swap (pass ``checkpoint=``
+    for the version to serve).  ``resize_workers`` may be called from a
+    control thread while the server runs; publishing and draining stay on
+    the serving thread.
+    """
+
+    def __init__(
+        self,
+        model_template: Module,
+        sample_shape: Sequence[int],
+        workers: int = 1,
+        max_workers: Optional[int] = None,
+        checkpoint: Optional[Checkpoint] = None,
+        num_slots: Optional[int] = None,
+        max_batch_size: int = 32,
+        max_latency_ms: float = 2.0,
+        admission_policy: str = "none",
+        max_queue_depth: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
+        max_recoveries: int = 4,
+    ) -> None:
+        super().__init__(
+            model_template,
+            store=None,
+            checkpoint=checkpoint,
+            max_batch_size=max_batch_size,
+            max_latency_ms=max_latency_ms,
+            admission_policy=admission_policy,
+            max_queue_depth=max_queue_depth,
+            default_deadline_ms=default_deadline_ms,
+        )
+        self.max_recoveries = max_recoveries
+        self.recoveries = 0
+        self._sample_shape = tuple(int(dim) for dim in sample_shape)
+        self._max_workers = workers if max_workers is None else max_workers
+        self._num_slots = num_slots
+        self._tickets = itertools.count()
+        self._inflight: Dict[int, List[_Request]] = {}
+        self._target_workers = workers
+        # Serialises control-thread resizes against serve-loop recoveries, so
+        # a resize never lands on a pool object a recovery just replaced.
+        # (A parent-side threading.Lock only; workers never see it.  No
+        # threading.Thread is constructed in this module — all forks happen
+        # before the serving thread starts, which is what R3 enforces.)
+        self._scale_lock = threading.Lock()
+        # self.model already carries the checkpoint (applied by the base
+        # constructor), so the workers fork with the served snapshot.
+        self._pool = self._build_pool(workers)
+
+    def _build_pool(self, active: int) -> InferencePool:
+        return InferencePool(
+            self.model,
+            sample_shape=self._sample_shape,
+            workers=active,
+            max_workers=self._max_workers,
+            num_slots=self._num_slots,
+            max_batch_samples=self.max_batch_size,
+        )
+
+    # -- capacity ------------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Active inference workers (parked spares excluded)."""
+        return self._pool.active_workers
+
+    @property
+    def max_workers(self) -> int:
+        """Worker processes forked at construction (the resize ceiling)."""
+        return self._pool.num_workers
+
+    def resize_workers(self, target: int) -> int:
+        """In-place grow/shrink of the active worker count; returns the new count.
+
+        The target is remembered: a recovery racing with a control-thread
+        resize rebuilds the pool at the *requested* width, not whatever width
+        the dying pool happened to have when it was captured.
+        """
+        with self._scale_lock:
+            if not 1 <= target <= self._pool.num_workers:
+                raise ConfigurationError(
+                    f"resize target {target} outside [1, {self._pool.num_workers}] "
+                    "(max_workers is fixed at construction)"
+                )
+            self._target_workers = target
+            if self._pool.dead_workers():
+                # Never touch a dead pool's ring lock (a killed worker may
+                # have died holding it): the serve loop's recovery rebuilds
+                # the pool at the recorded target width.
+                return target
+            return self._pool.resize(target)
+
+    # -- batch execution (overrides) -----------------------------------------------------
+    def _run_batch(self, batch: List[_Request]) -> None:
+        self._drain(block=False)
+        total = sum(request.size for request in batch)
+        if total > self._pool.max_batch_samples:
+            # A single request above max_batch_size: the coalescing loop only
+            # ever over-fills a batch with one lone oversized request, which
+            # the inherited in-process path serves exactly.
+            super()._run_batch(batch)
+            return
+        images = (
+            batch[0].images
+            if len(batch) == 1
+            else np.concatenate([request.images for request in batch], axis=0)
+        )
+        ticket = next(self._tickets)
+        try:
+            try:
+                self._pool.publish(ticket, images)
+            except SchedulingError:
+                self._recover()
+                self._pool.publish(ticket, images)
+        except Exception as exc:  # noqa: BLE001 - fail the requests, not the loop
+            for request in batch:
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(exc)
+            return
+        self._inflight[ticket] = batch
+
+    def _pop(self, timeout: Optional[float]) -> Optional[_Request]:
+        # The serving loop polls the queue continuously; piggyback response
+        # draining on the same cadence so no extra thread exists in this
+        # module (scaling.py holds the pool's fork sites — R3 rejects
+        # modules that both fork and start threads).
+        if self._inflight:
+            self._drain(block=False)
+        return super()._pop(timeout)
+
+    # -- response path -------------------------------------------------------------------
+    def _drain(self, block: bool) -> bool:
+        """Collect pool responses and resolve their futures; True if any resolved."""
+        try:
+            payloads = self._pool.collect(block=block)
+        except SchedulingError:
+            self._handle_pool_failure()
+            return True
+        self._resolve(payloads)
+        if self._inflight and self._pool.dead_workers():
+            self._handle_pool_failure()
+            return True
+        return bool(payloads)
+
+    def _resolve(self, payloads: List[PoolResult]) -> None:
+        recorder = get_recorder()
+        finished = time.perf_counter()
+        for ticket, logits, error in payloads:
+            batch = self._inflight.pop(ticket, None)
+            if batch is None:
+                # A recovery re-published this ticket and both copies landed:
+                # the first resolution won; drop the duplicate (exactly-once).
+                continue
+            if error is not None or logits is None:
+                exc = SchedulingError(f"inference worker failed:\n{error}")
+                for request in batch:
+                    if request.future.set_running_or_notify_cancel():
+                        request.future.set_exception(exc)
+                continue
+            offset = 0
+            for request in batch:
+                result = logits[offset : offset + request.size]
+                offset += request.size
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_result(result)
+                latency_ms = (finished - request.enqueued_at) * 1000.0
+                self.stats.latencies_ms.append(latency_ms)
+                if recorder.enabled:
+                    recorder.gauge("serve.latency_ms", latency_ms)
+                self.stats.requests += 1
+                self.stats.samples += request.size
+            self.stats.batches += 1
+
+    # -- failure recovery ----------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild a dead pool and re-publish every unresolved ticket.
+
+        Results the old pool delivered before dying are resolved first (their
+        tickets leave the in-flight table), so a re-published ticket whose
+        work was actually completed resolves from whichever copy lands first
+        — the ticket match keeps delivery exactly-once either way.
+        """
+        if self.recoveries >= self.max_recoveries:
+            raise SchedulingError(
+                f"inference pool died {self.recoveries + 1} times "
+                f"(max_recoveries={self.max_recoveries})"
+            )
+        self.recoveries += 1
+        with self._scale_lock:
+            old = self._pool
+            self._resolve(old.collect(block=False))
+            self._pool = self._build_pool(self._target_workers)
+            old.terminate()
+        get_recorder().counter("serve.pool_recovery", 1.0, workers=self.workers)
+        logger.warning(
+            "inference pool recovery %d: re-publishing %d unresolved ticket(s)",
+            self.recoveries,
+            len(self._inflight),
+        )
+        for ticket, batch in list(self._inflight.items()):
+            images = (
+                batch[0].images
+                if len(batch) == 1
+                else np.concatenate([request.images for request in batch], axis=0)
+            )
+            self._pool.publish(ticket, images)
+
+    def _handle_pool_failure(self) -> None:
+        try:
+            self._recover()
+        except Exception as exc:  # noqa: BLE001 - surface through the futures
+            batches = list(self._inflight.values())
+            self._inflight.clear()
+            for batch in batches:
+                for request in batch:
+                    if request.future.set_running_or_notify_cancel():
+                        request.future.set_exception(exc)
+
+    # -- lifecycle (overrides) -----------------------------------------------------------
+    def stop(self) -> None:
+        """Stop the serving loop, then drain every in-flight pooled response."""
+        was_running = self._thread is not None
+        super().stop()
+        if not was_running:
+            return
+        deadline = time.monotonic() + _RESULT_TIMEOUT_S
+        while self._inflight and time.monotonic() < deadline:
+            if not self._drain(block=True):
+                break  # pool idle yet tickets unresolved: accounting is broken
+        if self._inflight:
+            exc = SchedulingError("inference pool lost requests at shutdown")
+            batches = list(self._inflight.values())
+            self._inflight.clear()
+            for batch in batches:
+                for request in batch:
+                    if request.future.set_running_or_notify_cancel():
+                        request.future.set_exception(exc)
+        self.stats.finished_at = time.perf_counter()
+
+    def close(self) -> None:
+        """Stop serving and release the pool (terminal; ``stop`` alone can restart)."""
+        self.stop()
+        self._pool.close()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@dataclass
+class ServingAutoTuner(AutoTuner):
+    """Algorithm 2's observe/decide machinery running setpoint control on load.
+
+    The training :class:`~repro.engine.autotuner.AutoTuner` hill-climbs:
+    "did the last resize improve throughput?".  The serving plane needs the
+    other classic controller — "is demand above or below capacity right
+    now?" — but the *decision machinery* is identical and is reused
+    verbatim: the dead band ``τ`` (:attr:`tolerance`), the shrink-side
+    :attr:`hysteresis` damping that stops flapping around the setpoint, the
+    ``[min_learners, max_learners]`` bounds, and the decision
+    history/``grow_count``/``converged()`` bookkeeping.  ``learners_per_gpu``
+    counts inference *workers* here (the :attr:`workers` alias reads better
+    at call sites).
+
+    The observed signal is a dimensionless **pressure**: the binding ratio
+    of measured load to its target, where ``1.0`` means "at capacity".
+    :meth:`observe_signal` builds it from one
+    :func:`repro.telemetry.queries.load_signal` row as::
+
+        pressure = max(queue_depth_p99 / target_queue_depth,
+                       deadline_miss_rate / target_miss_rate)
+
+    and :meth:`observe` applies the dead band: pressure above ``1 + τ``
+    adds a worker, below ``1 - (τ + hysteresis)`` removes one, inside the
+    band keeps — so a noisy signal near the setpoint cannot flap the pool,
+    exactly as the training tuner's hysteresis damps resize flapping.
+    """
+
+    target_queue_depth: float = 4.0
+    target_miss_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.target_queue_depth <= 0:
+            raise ConfigurationError("target_queue_depth must be positive")
+        if self.target_miss_rate <= 0:
+            raise ConfigurationError("target_miss_rate must be positive")
+
+    @property
+    def workers(self) -> int:
+        """Serving-plane alias for ``learners_per_gpu``."""
+        return self.learners_per_gpu
+
+    def pressure_from(self, signal: Mapping[str, Any]) -> float:
+        """Load pressure of one ``load_signal`` row (1.0 = at the setpoint)."""
+        depth = float(signal["queue_depth_p99"])
+        miss_rate = float(signal["deadline_miss_rate"])
+        return max(depth / self.target_queue_depth, miss_rate / self.target_miss_rate)
+
+    def observe_signal(self, signal: Mapping[str, Any]) -> AutoTunerDecision:
+        """Consume one ``load_signal`` row and decide how to adapt."""
+        return self.observe(self.pressure_from(signal))
+
+    def observe(self, throughput: float) -> AutoTunerDecision:
+        """Consume one pressure observation (passed as the base class's
+        ``throughput`` argument) and decide how to adapt.
+
+        Same dead-band structure as the base ``observe`` with the gain term
+        replaced by ``pressure - 1.0``; there is no first-observation special
+        case because pressure is absolute, not relative to a baseline.
+        """
+        if not self.enabled:
+            return AutoTunerDecision.KEEP
+        pressure = float(throughput)
+        decision = AutoTunerDecision.KEEP
+        if pressure > 1.0 + self.tolerance and self.learners_per_gpu < self.max_learners:
+            decision = AutoTunerDecision.ADD_LEARNER
+        elif (
+            pressure < 1.0 - (self.tolerance + self.hysteresis)
+            and self.learners_per_gpu > self.min_learners
+        ):
+            decision = AutoTunerDecision.REMOVE_LEARNER
+        if decision is AutoTunerDecision.ADD_LEARNER:
+            self.learners_per_gpu += 1
+        elif decision is AutoTunerDecision.REMOVE_LEARNER:
+            self.learners_per_gpu -= 1
+        self.previous_throughput = pressure
+        self._last_decision = decision
+        self.history.append(decision)
+        return decision
+
+
+def autoscale_step(
+    server: PooledInferenceServer,
+    tuner: ServingAutoTuner,
+    conn: sqlite3.Connection,
+    run_id: Optional[str] = None,
+) -> AutoTunerDecision:
+    """One turn of the telemetry → tuner → pool control loop.
+
+    Reads the newest :func:`~repro.telemetry.queries.load_signal` row from
+    the store (optionally pinned to ``run_id``), feeds it to the tuner, and
+    applies a changed worker target to the server's pool in place.  Returns
+    the decision (``KEEP`` when the store holds no signal yet).
+    """
+    rows = load_signal(conn)
+    if run_id is not None:
+        rows = [row for row in rows if row["run_id"] == run_id]
+    if not rows:
+        return AutoTunerDecision.KEEP
+    decision = tuner.observe_signal(rows[-1])
+    target = max(1, min(tuner.workers, server.max_workers))
+    if target != server.workers:
+        server.resize_workers(target)
+    return decision

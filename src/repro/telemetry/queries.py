@@ -126,6 +126,68 @@ def per_run_event_counts(
     ]
 
 
+def load_signal(conn: sqlite3.Connection, last_n: int = 5) -> List[Row]:
+    """Per-run serving-load signal: queue-depth percentiles and miss rates.
+
+    :meth:`InferenceServer.stop` snapshots its ``ServeCounters`` summary into
+    the store as ``serve.*`` counters; this query pivots those counters back
+    into one row per run — queue-depth p50/p99, accepted/deadline-missed
+    totals, the derived ``deadline_miss_rate`` — and smooths the p99 depth
+    with the usual trailing window (``AVG(...) OVER (ORDER BY started_at
+    ROWS BETWEEN n-1 PRECEDING AND CURRENT ROW)``).  This is the feed of the
+    serving auto-scaler: :class:`~repro.serve.scaling.ServingAutoTuner`
+    turns a row into a load pressure and decides grow/keep/shrink, reading
+    the same queryable history CI and the report CLI see rather than ad-hoc
+    in-process state.
+
+    Counters are cumulative within a run, so ``MAX`` per name is the final
+    snapshot even when a server stopped more than once under one run id.
+    """
+    last_n = _window(last_n)
+    rows = conn.execute(
+        f"""
+        WITH per_run AS (
+            SELECT e.run_id, r.started_at,
+                   MAX(CASE WHEN e.name = 'serve.queue_depth_p50'
+                            THEN e.value END) AS queue_depth_p50,
+                   MAX(CASE WHEN e.name = 'serve.queue_depth_p99'
+                            THEN e.value END) AS queue_depth_p99,
+                   MAX(CASE WHEN e.name = 'serve.accepted'
+                            THEN e.value END) AS accepted,
+                   MAX(CASE WHEN e.name = 'serve.deadline_missed'
+                            THEN e.value END) AS deadline_missed
+            FROM events e JOIN runs r USING (run_id)
+            WHERE e.kind = 'counter' AND e.name IN (
+                'serve.queue_depth_p50', 'serve.queue_depth_p99',
+                'serve.accepted', 'serve.deadline_missed')
+            GROUP BY e.run_id, r.started_at
+        )
+        SELECT run_id, queue_depth_p50, queue_depth_p99, accepted, deadline_missed,
+               CASE WHEN accepted IS NULL OR accepted = 0 THEN 0.0
+                    ELSE COALESCE(deadline_missed, 0.0) / accepted
+               END AS deadline_miss_rate,
+               AVG(queue_depth_p99) OVER trailing AS rolling_queue_depth_p99
+        FROM per_run
+        WINDOW trailing AS (
+            ORDER BY started_at ROWS BETWEEN {last_n - 1} PRECEDING AND CURRENT ROW
+        )
+        ORDER BY started_at
+        """,
+    ).fetchall()
+    return [
+        {
+            "run_id": run_id,
+            "queue_depth_p50": round(float(p50 or 0.0), 6),
+            "queue_depth_p99": round(float(p99 or 0.0), 6),
+            "accepted": int(accepted or 0),
+            "deadline_missed": int(missed or 0),
+            "deadline_miss_rate": round(float(miss_rate), 6),
+            "rolling_queue_depth_p99": round(float(rolling or 0.0), 6),
+        }
+        for run_id, p50, p99, accepted, missed, miss_rate, rolling in rows
+    ]
+
+
 def per_commit_delta(
     conn: sqlite3.Connection, bench: str, metric: str
 ) -> List[Row]:

@@ -1,9 +1,10 @@
 """The ``python -m repro.telemetry`` CLI: report, seed, ingest.
 
-``report`` answers the three standing questions the analytics layer exists
-for — rolling p99 serve latency over the last N runs, per-run resize counts,
-and per-commit throughput deltas (plus a monotone-trend verdict) — each
-backed by one window-function query from :mod:`repro.telemetry.queries`.
+``report`` answers the standing questions the analytics layer exists for —
+rolling p99 serve latency over the last N runs, per-run resize counts, the
+serving load signal the auto-scaler feeds on, and per-commit throughput
+deltas (plus a monotone-trend verdict) — each backed by one window-function
+query from :mod:`repro.telemetry.queries`.
 
 ``seed`` writes a small deterministic synthetic history (runs, latency
 gauges, resize events, bench rows) so the report and the pinned-output tests
@@ -62,7 +63,7 @@ def run_report(
     metric: str = "throughput_req_s",
     out=None,
 ) -> int:
-    """Print the three standing analytics sections; returns an exit code."""
+    """Print the standing analytics sections; returns an exit code."""
     out = out if out is not None else sys.stdout
     if not Path(db).exists():
         print(f"error: no telemetry database at {db}", file=sys.stderr)
@@ -87,6 +88,8 @@ def run_report(
             _format_table(queries.per_run_event_counts(conn, resize_event, last_n=last_n)),
             file=out,
         )
+        print(f"\n== serving load signal (window {last_n} runs) ==", file=out)
+        print(_format_table(queries.load_signal(conn, last_n=last_n)), file=out)
         print(f"\n== per-commit delta of {bench}.{metric} ==", file=out)
         print(_format_table(queries.per_commit_delta(conn, bench, metric)), file=out)
         trend = queries.monotone_trend(conn, bench, metric, last_n=last_n)
