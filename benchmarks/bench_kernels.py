@@ -1,0 +1,136 @@
+"""Kernel-provider microbenchmark: provider × hot-path op throughput.
+
+The pluggable backend (:mod:`repro.tensor.backend`) routes the three dense
+``(k, P)`` hot paths — the fused ``step_matrix`` synchronisation, the gradient
+gather, and the batched-evaluation forward — to a registered kernel provider.
+Providers are bit-identical by contract (``tests/test_backend.py`` pins the
+floats), so this benchmark measures the only thing they may change: speed.
+One row per ``provider × op`` with an ``ops_per_s`` throughput column feeds
+the CI regression gate, so a provider silently losing its edge (or the
+reference path regressing) fails the build like any other perf regression.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.optim import SMA, SMAConfig
+from repro.tensor.backend import available_backends, get_backend
+
+REPLICAS = 16
+PARAMETERS = 65536
+ITERATIONS = 60
+SMOKE_ITERATIONS = 5
+
+#: batched-evaluation workload: one conv + one linear layer at eval shapes
+EVAL_BATCH = 64
+CONV_FEATURES = 72  # in_channels * kh * kw
+CONV_CHANNELS = 16
+CONV_POSITIONS = 64  # oh * ow
+LINEAR_IN = 256
+LINEAR_OUT = 10
+
+
+def _time_op(op, iterations: int) -> float:
+    """Best-of-3 mean seconds per call (the op itself loops internally)."""
+    op()  # warm-up: allocations, BLAS initialisation, einsum paths
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            op()
+        best = min(best, (time.perf_counter() - started) / iterations)
+    return best
+
+
+def _step_matrix_op(provider: str):
+    rng = np.random.default_rng(7)
+    initial = rng.standard_normal(PARAMETERS).astype(np.float32)
+    weights = np.tile(initial, (REPLICAS, 1))
+    updates = (0.01 * rng.standard_normal((REPLICAS, PARAMETERS))).astype(np.float32)
+    sma = SMA(initial, REPLICAS, SMAConfig(momentum=0.9), backend=provider)
+    return lambda: sma.step_matrix(weights, updates)
+
+
+def _gather_op(provider: str):
+    backend = get_backend(provider)
+    rng = np.random.default_rng(8)
+    sizes = [4096] * 15 + [PARAMETERS - 15 * 4096]
+    gradients = [rng.standard_normal(size).astype(np.float32) for size in sizes]
+    gradients[3] = None  # one parameter without a gradient: the zero-fill path
+    segments = list(zip(gradients, sizes))
+    out = np.empty(PARAMETERS, dtype=np.float32)
+    return lambda: backend.gather(iter(segments), out)
+
+
+def _fused_forward_op(provider: str):
+    backend = get_backend(provider)
+    rng = np.random.default_rng(9)
+    conv_weights = rng.standard_normal((REPLICAS, CONV_CHANNELS, CONV_FEATURES)).astype(
+        np.float32
+    )
+    cols = rng.standard_normal((EVAL_BATCH, CONV_FEATURES, CONV_POSITIONS)).astype(np.float32)
+    act = rng.standard_normal((EVAL_BATCH, LINEAR_IN)).astype(np.float32)
+    linear_weights = rng.standard_normal((REPLICAS, LINEAR_IN, LINEAR_OUT)).astype(np.float32)
+    bias = rng.standard_normal((REPLICAS, 1, LINEAR_OUT)).astype(np.float32)
+
+    def op():
+        conv_out = backend.batched_conv2d(conv_weights, cols)
+        backend.relu(conv_out)
+        return backend.batched_linear(act, linear_weights, bias)
+
+    return op
+
+
+_OPS = {
+    "step_matrix": _step_matrix_op,
+    "gather": _gather_op,
+    "fused_forward": _fused_forward_op,
+}
+
+
+def _kernel_rows(iterations: int) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for op_name, build in _OPS.items():
+        for provider in available_backends():
+            seconds = _time_op(build(provider), iterations)
+            rows.append(
+                {
+                    "op": op_name,
+                    "provider": provider,
+                    "k": REPLICAS,
+                    "ms_per_call": round(1e3 * seconds, 4),
+                    "ops_per_s": round(1.0 / seconds, 1),
+                }
+            )
+    return rows
+
+
+def test_kernel_backend_throughput(report):
+    rows = _kernel_rows(ITERATIONS)
+    report("kernel_backends", rows)
+    # Sanity, not a perf gate (that is check_bench_regression's job): every
+    # registered provider produced a finite positive throughput on every op.
+    assert len(rows) == len(_OPS) * len(available_backends())
+    for row in rows:
+        assert row["ops_per_s"] > 0.0
+
+
+# ----------------------------------------------------------------------- CLI / smoke
+def main(argv: Optional[List[str]] = None) -> int:
+    import conftest
+
+    args = conftest.bench_cli(__doc__, argv)
+    iterations = SMOKE_ITERATIONS if args.smoke else ITERATIONS
+    rows = _kernel_rows(iterations)
+    conftest.standalone_report("kernel_backends_smoke" if args.smoke else "kernel_backends", rows)
+    providers = ", ".join(available_backends())
+    print(f"ok: {len(rows)} provider×op rows measured ({providers})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ from repro.engine.memory_plan import (
 )
 from repro.engine.dataflow import DataflowGraph, OperatorNode, trace_dataflow
 from repro.engine.config import CrossbowConfig, SSGDConfig
+from repro.engine.modeselect import ProbeResult, probe_host, recommend, resolve_auto_execution
 from repro.engine.crossbow import CrossbowTrainer
 from repro.engine.baseline import SSGDTrainer
 
@@ -77,4 +78,8 @@ __all__ = [
     "SSGDConfig",
     "CrossbowTrainer",
     "SSGDTrainer",
+    "ProbeResult",
+    "probe_host",
+    "recommend",
+    "resolve_auto_execution",
 ]

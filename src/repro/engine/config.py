@@ -66,6 +66,17 @@ class CrossbowConfig(TrainerConfig):
       (:mod:`repro.engine.executor`).  Requires the POSIX ``fork`` start
       method.  With augmentation disabled, fixed-seed runs are
       bit-compatible with ``"serial"``.
+    * ``"auto"`` — measure, don't assume: a short calibration probe
+      (:mod:`repro.engine.modeselect`, cached per host in the telemetry
+      store) picks serial / process / pipelined from the core count and the
+      measured fused-step and worker-round-trip times.  On a 1-core host this
+      always resolves to ``"serial"`` — process mode there measures ~0.82x
+      serial throughput (the `multiprocess_throughput` trajectory caveat).
+
+    ``kernel_backend`` names the :mod:`repro.tensor.backend` provider used
+    for the dense ``(k, P)`` arithmetic (fused ``step_matrix``, gradient
+    gather).  All registered providers are bit-identical to the ``"numpy"``
+    reference, so this changes speed only, never the trajectory.
 
     ``pipeline_depth`` (process mode only) selects the synchronisation
     schedule:
@@ -89,8 +100,9 @@ class CrossbowConfig(TrainerConfig):
     """
 
     replicas_per_gpu: int = 1
-    execution: str = "serial"  # "serial" or "process"
+    execution: str = "serial"  # "serial", "process" or "auto" (probe-driven)
     pipeline_depth: int = 0  # 0 = synchronous, 1 = overlap sync with next gradients
+    kernel_backend: str = "numpy"  # repro.tensor.backend provider name
     persistent_pool: bool = True
     auto_tune: bool = False
     auto_tune_interval: int = 16  # iterations between throughput observations
@@ -110,13 +122,14 @@ class CrossbowConfig(TrainerConfig):
             raise ConfigurationError("max_replicas_per_gpu must be >= replicas_per_gpu")
         if self.synchronisation not in ("sma", "easgd", "none"):
             raise ConfigurationError("synchronisation must be 'sma', 'easgd' or 'none'")
-        if self.execution not in ("serial", "process"):
-            raise ConfigurationError("execution must be 'serial' or 'process'")
+        if self.execution not in ("serial", "process", "auto"):
+            raise ConfigurationError("execution must be 'serial', 'process' or 'auto'")
         if self.pipeline_depth not in (0, 1):
             raise ConfigurationError(
                 "pipeline_depth must be 0 (synchronous) or 1 (one overlapped iteration)"
             )
         if self.pipeline_depth == 1 and self.execution != "process":
+            # "auto" picks its own depth; an explicit depth contradicts it.
             raise ConfigurationError(
                 "pipeline_depth=1 overlaps the fused synchronisation with worker "
                 "gradient computation and therefore requires execution='process'"

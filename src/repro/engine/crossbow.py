@@ -42,6 +42,7 @@ from repro.serve.checkpoint import Checkpoint, CheckpointStore
 from repro.optim.easgd import EASGD, EASGDConfig
 from repro.optim.schedules import hyperparameters_for_model, schedule_for_model
 from repro.optim.sma import SMA, SMAConfig
+from repro.tensor.backend import get_backend
 from repro.gpusim import Tracer, cost_profile_for_model, titan_x_server
 from repro.telemetry.recorder import get_recorder
 from repro.utils.logging import get_logger
@@ -104,7 +105,17 @@ class CrossbowTrainer:
     """
 
     def __init__(self, config: CrossbowConfig) -> None:
+        if config.execution == "auto":
+            # Probe-driven mode selection (cached per host in the telemetry
+            # store): resolve to a concrete serial/process/pipelined choice
+            # before any executor machinery is built.
+            from repro.engine.modeselect import resolve_auto_execution
+
+            config = resolve_auto_execution(config)
         self.config = config
+        #: kernel provider for the dense (k, P) hot paths (fused step_matrix,
+        #: gradient gather); all registered providers are bit-identical.
+        self.backend = get_backend(config.kernel_backend)
         self.rng = RandomState(config.seed, name="crossbow")
 
         # Data substrate -------------------------------------------------------------
@@ -261,6 +272,7 @@ class CrossbowTrainer:
                     elasticity=self.config.sma_alpha,
                     communication_period=self.config.synchronisation_period,
                 ),
+                backend=self.backend,
             )
         # "none" still uses the SMA container for the central model but with α=0,
         # so replicas never receive corrections (used by the τ=∞ ablation).
@@ -272,7 +284,7 @@ class CrossbowTrainer:
             alpha=alpha,
             synchronisation_period=self.config.synchronisation_period,
         )
-        return SMA(center, num_replicas, config)
+        return SMA(center, num_replicas, config, backend=self.backend)
 
     def _add_learner_on_gpu(self, gpu_id: int, model: Module) -> Learner:
         gpu = self.server.gpu(gpu_id)
@@ -280,6 +292,7 @@ class CrossbowTrainer:
         replica = self.replica_pool.add(model, gpu_id, stream.stream_id)
         self.scheduler.register_replica(replica)
         learner = Learner(len(self.learners), replica)
+        learner.backend = self.backend
         self.learners.append(learner)
         return learner
 
@@ -645,7 +658,7 @@ class CrossbowTrainer:
             else:
                 guards.enter_context(guard_for(weights).read_rows(rows))
                 guards.enter_context(guard_for(out).write_rows(rows))
-            np.multiply(updates, self._last_lr, out=updates)
+            self.backend.scale_rows(updates, self._last_lr)
             if self.weight_decay:
                 decay = self._decay_rows(len(replicas))
                 np.multiply(weights, self._last_lr * self.weight_decay, out=decay)

@@ -1,0 +1,272 @@
+"""Tests for the pluggable kernel backend and probe-driven mode selection.
+
+The backend contract is bit-identity: every registered provider must produce
+the exact floats of the ``numpy`` reference on the three dense hot paths
+(fused ``step_matrix``, gradient gather, batched evaluation forward).  These
+tests pin that contract down per provider and per operation, then cover the
+registry semantics (fallback when numba is absent, unknown names) and the
+``execution="auto"`` calibration probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import CrossbowConfig, CrossbowTrainer, modeselect
+from repro.errors import ConfigurationError
+from repro.models import create_model
+from repro.optim.easgd import EASGD
+from repro.optim.sma import SMA
+from repro.tensor import backend as backend_module
+from repro.tensor.backend import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.telemetry.store import TelemetryStore
+from repro.utils.rng import RandomState
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    _HAS_NUMBA = True
+except ImportError:
+    _HAS_NUMBA = False
+
+PROVIDERS = available_backends()
+
+
+def _bank(k, p, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((k, p)).astype(np.float32)
+
+
+# ----------------------------------------------------------------------- registry
+class TestRegistry:
+    def test_reference_provider_listed_first(self):
+        assert PROVIDERS[0] == "numpy"
+        assert "blas_batched" in PROVIDERS
+
+    def test_default_is_the_reference(self):
+        assert get_backend().name == "numpy"
+        assert get_backend(None).name == "numpy"
+
+    def test_unknown_provider_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            get_backend("cublas")
+
+    @pytest.mark.skipif(_HAS_NUMBA, reason="numba is installed here")
+    def test_absent_numba_falls_back_to_reference(self):
+        fallback = get_backend("numba")
+        assert fallback.name == "numpy"
+        assert "numba" not in available_backends()
+
+    def test_resolve_accepts_instances_and_names(self):
+        instance = get_backend("blas_batched")
+        assert resolve_backend(instance) is instance
+        assert resolve_backend("blas_batched") is instance
+        assert resolve_backend(None).name == "numpy"
+
+    def test_duplicate_registration_needs_overwrite(self):
+        class _Probe(KernelBackend):
+            name = "test-probe"
+
+        register_backend(_Probe())
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_backend(_Probe())
+            register_backend(_Probe(), overwrite=True)  # explicit replace is fine
+        finally:
+            backend_module._REGISTRY.pop("test-probe")
+
+
+# ----------------------------------------------------------- provider bit-identity
+@pytest.mark.parametrize("provider", PROVIDERS)
+@pytest.mark.parametrize("k", [1, 4, 16])
+class TestProviderBitIdentity:
+    def test_sma_step_matrix(self, provider, k):
+        p = 257
+        initial = _bank(1, p, seed=1)[0]
+        reference = SMA(initial, num_replicas=k, backend="numpy")
+        candidate = SMA(initial, num_replicas=k, backend=provider)
+        weights_a = np.tile(initial, (k, 1))
+        weights_b = weights_a.copy()
+        for step in range(4):
+            updates = _bank(k, p, seed=10 + step)
+            reference.step_matrix(weights_a, updates.copy())
+            candidate.step_matrix(weights_b, updates.copy())
+        np.testing.assert_array_equal(weights_a, weights_b)
+        np.testing.assert_array_equal(reference.center, candidate.center)
+
+    def test_easgd_step_matrix(self, provider, k):
+        p = 129
+        initial = _bank(1, p, seed=2)[0]
+        reference = EASGD(initial, num_replicas=k, backend="numpy")
+        candidate = EASGD(initial, num_replicas=k, backend=provider)
+        weights_a = np.tile(initial, (k, 1))
+        weights_b = weights_a.copy()
+        for step in range(4):
+            updates = _bank(k, p, seed=20 + step)
+            reference.step_matrix(weights_a, updates.copy())
+            candidate.step_matrix(weights_b, updates.copy())
+        np.testing.assert_array_equal(weights_a, weights_b)
+        np.testing.assert_array_equal(reference.center, candidate.center)
+
+    def test_gradient_gather(self, provider, k):
+        model = create_model("mlp", rng=RandomState(3), input_dim=8, num_classes=4)
+        rng = np.random.default_rng(k)
+        for index, param in enumerate(model.parameters()):
+            # Leave one parameter's gradient unset: gather must zero-fill it.
+            param.grad = (
+                None
+                if index == 1
+                else rng.standard_normal(param.data.shape).astype(np.float32)
+            )
+        plain = model.gradient_vector()
+        routed = model.gradient_vector(backend=get_backend(provider))
+        np.testing.assert_array_equal(plain, routed)
+
+    def test_fused_evaluation_forward(self, provider, k):
+        """Linear / ReLU / conv / BN batched kernels match the reference floats."""
+        reference = get_backend("numpy")
+        candidate = get_backend(provider)
+        rng = np.random.default_rng(40 + k)
+
+        act = rng.standard_normal((k, 6, 5)).astype(np.float32)
+        weights = rng.standard_normal((k, 5, 3)).astype(np.float32)
+        bias = rng.standard_normal((k, 1, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            reference.batched_linear(act, weights, bias),
+            candidate.batched_linear(act, weights, bias),
+        )
+        np.testing.assert_array_equal(reference.relu(act), candidate.relu(act))
+
+        # Shared and per-model im2col column buffers, as the evaluator emits
+        # them before/after the first parameterised op.
+        conv_weights = rng.standard_normal((k, 4, 18)).astype(np.float32)
+        shared_cols = rng.standard_normal((6, 18, 9)).astype(np.float32)
+        batched_cols = rng.standard_normal((k, 6, 18, 9)).astype(np.float32)
+        np.testing.assert_array_equal(
+            reference.batched_conv2d(conv_weights, shared_cols),
+            candidate.batched_conv2d(conv_weights, shared_cols),
+        )
+        np.testing.assert_array_equal(
+            reference.batched_conv2d(conv_weights, batched_cols),
+            candidate.batched_conv2d(conv_weights, batched_cols),
+        )
+
+        spatial = rng.standard_normal((k, 6, 4, 3, 3)).astype(np.float32)
+        gamma = rng.standard_normal((k, 4)).astype(np.float32)
+        beta = rng.standard_normal((k, 4)).astype(np.float32)
+        mean = rng.standard_normal((k, 4)).astype(np.float32)
+        var = (1.0 + rng.uniform(0.0, 1.0, size=(k, 4))).astype(np.float32)
+        np.testing.assert_array_equal(
+            reference.batched_batchnorm(spatial, gamma, beta, mean, var, 1e-5),
+            candidate.batched_batchnorm(spatial, gamma, beta, mean, var, 1e-5),
+        )
+
+
+# ------------------------------------------------------------- trainer integration
+_DATASET = {"num_train": 256, "num_test": 128, "noise_scale": 2.5}
+
+
+def _config(**overrides):
+    defaults = dict(
+        model_name="mlp",
+        dataset_name="blobs",
+        num_gpus=1,
+        batch_size=16,
+        replicas_per_gpu=2,
+        max_epochs=2,
+        dataset_overrides=dict(_DATASET),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return CrossbowConfig(**defaults)
+
+
+class TestTrainerBackendEquivalence:
+    def test_invalid_backend_name_is_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            CrossbowTrainer(_config(kernel_backend="cublas"))
+
+    @pytest.mark.parametrize("provider", [p for p in PROVIDERS if p != "numpy"])
+    def test_fixed_seed_training_is_backend_invariant(self, provider):
+        baseline = CrossbowTrainer(_config()).train()
+        routed = CrossbowTrainer(_config(kernel_backend=provider)).train()
+        for ours, theirs in zip(baseline.metrics.records, routed.metrics.records):
+            assert ours.test_accuracy == theirs.test_accuracy
+            assert ours.train_loss == theirs.train_loss
+
+
+# ------------------------------------------------------------------ mode selection
+class TestModeSelection:
+    def test_recommend_is_monotone_in_cores(self):
+        assert modeselect.recommend(1, 0.5, -1.0) == ("serial", 0)
+        assert modeselect.recommend(2, 0.5, 1.0) == ("process", 0)
+        assert modeselect.recommend(8, 0.5, 1.0) == ("process", 1)
+        # A round-trip dearer than the budget kills process mode regardless.
+        assert modeselect.recommend(8, 0.01, 100.0) == ("serial", 0)
+
+    def test_probe_on_one_core_host_selects_serial(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(modeselect, "cpu_count", lambda: 1)
+        store = TelemetryStore(tmp_path / "telemetry.sqlite")
+        try:
+            probe = modeselect.probe_host(store=store)
+            assert (probe.execution, probe.pipeline_depth) == ("serial", 0)
+            assert probe.cores == 1
+            assert probe.worker_roundtrip_ms == -1.0  # skipped, not measured
+            assert not probe.cached
+            # The measurement landed in the store under the host's bench name.
+            bench = f"modeselect_probe/{probe.host}"
+            history = store.bench_history(bench, row_index=0, metric="cores", last_n=1)
+            assert [value for _, value in history] == [1.0]
+        finally:
+            store.close()
+
+    def test_second_probe_is_served_from_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(modeselect, "cpu_count", lambda: 1)
+        store = TelemetryStore(tmp_path / "telemetry.sqlite")
+        try:
+            first = modeselect.probe_host(store=store)
+
+            def _boom():
+                raise AssertionError("cached probe must not re-measure")
+
+            monkeypatch.setattr(modeselect, "_time_fused_step", _boom)
+            second = modeselect.probe_host(store=store)
+            assert second.cached
+            assert (second.execution, second.pipeline_depth) == (
+                first.execution,
+                first.pipeline_depth,
+            )
+        finally:
+            store.close()
+
+    def test_resolve_auto_passthrough_for_explicit_modes(self):
+        config = _config(execution="serial")
+        assert modeselect.resolve_auto_execution(config) is config
+
+    def test_trainer_auto_resolves_serial_on_one_core(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(modeselect, "cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_TELEMETRY_DB", str(tmp_path / "telemetry.sqlite"))
+        trainer = CrossbowTrainer(_config(execution="auto"))
+        try:
+            assert trainer.config.execution == "serial"
+            assert trainer.config.pipeline_depth == 0
+        finally:
+            trainer.close()
+        # The probe row persisted, so a second trainer reuses it (cache hit).
+        monkeypatch.setattr(
+            modeselect,
+            "_time_fused_step",
+            lambda: (_ for _ in ()).throw(AssertionError("must hit the cache")),
+        )
+        again = CrossbowTrainer(_config(execution="auto"))
+        try:
+            assert again.config.execution == "serial"
+        finally:
+            again.close()

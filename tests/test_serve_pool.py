@@ -17,7 +17,6 @@ import pytest
 
 from repro.engine import CrossbowConfig, CrossbowTrainer, process_execution_supported
 from repro.errors import AdmissionError, ConfigurationError, SchedulingError
-from repro.models import create_model
 from repro.nn import Linear, Module
 from repro.nn.metrics import evaluate_top1
 from repro.serve import (
@@ -75,6 +74,45 @@ def _inline_accuracies(trainer, checkpoints, batch_size=256):
         )
         for checkpoint in checkpoints
     ]
+
+
+def _conv_config(model_name, model_overrides):
+    return CrossbowConfig(
+        model_name=model_name,
+        dataset_name="cifar10-scaled",
+        num_gpus=1,
+        batch_size=16,
+        replicas_per_gpu=1,
+        max_epochs=1,
+        dataset_overrides={"num_train": 64, "num_test": 64},
+        model_overrides=model_overrides,
+        seed=3,
+    )
+
+
+def _conv_checkpoints(model, count, scale=0.1, seed=21):
+    """Perturbed conv checkpoints with distinct, valid BN running statistics."""
+    base = model.parameter_vector()
+    rng = np.random.default_rng(seed)
+    checkpoints = []
+    for index in range(count):
+        buffers = {}
+        for name, buf in model.named_buffers():
+            if name.endswith("running_var"):
+                buffers[name] = (1.0 + rng.uniform(0.0, 0.5, size=buf.shape)).astype(
+                    np.float32
+                )
+            else:
+                buffers[name] = rng.normal(scale=0.1, size=buf.shape).astype(np.float32)
+        checkpoints.append(
+            Checkpoint(
+                parameters=base
+                + rng.normal(scale=scale, size=base.shape).astype(np.float32),
+                buffers=buffers,
+                epoch=index,
+            )
+        )
+    return checkpoints
 
 
 # ------------------------------------------------------------------- evaluator pool
@@ -338,12 +376,61 @@ class TestBatchedEvaluator:
         finally:
             trainer.close()
 
+    @pytest.mark.parametrize(
+        "model_name,model_overrides",
+        [
+            ("resnet32-scaled", {"width_multiplier": 0.25, "blocks_per_stage": 1}),
+            ("vgg16-scaled", {"width_multiplier": 0.0625}),
+        ],
+    )
+    def test_conv_checkpoints_match_sequential(self, model_name, model_overrides):
+        """ResNet/VGG checkpoints evaluate through the fused conv/BN path with
+        accuracies identical to sequential evaluate_top1, per-checkpoint BN
+        running statistics included."""
+        trainer = CrossbowTrainer(_conv_config(model_name, model_overrides))
+        try:
+            checkpoints = _conv_checkpoints(trainer.initial_model, 3)
+            evaluator = BatchedEvaluator(
+                trainer.initial_model, trainer.pipeline, batch_size=32
+            )
+            fused = evaluator.evaluate(checkpoints)
+            assert fused == _inline_accuracies(trainer, checkpoints, batch_size=32)
+            # The accuracies differ across checkpoints (the BN stacks are
+            # per-checkpoint), so a shared-statistics bug cannot hide.
+            assert len(set(fused)) > 1
+        finally:
+            trainer.close()
+
+    def test_conv_checkpoint_missing_buffer_is_rejected(self):
+        trainer = CrossbowTrainer(
+            _conv_config("resnet32-scaled", {"width_multiplier": 0.25, "blocks_per_stage": 1})
+        )
+        try:
+            (checkpoint,) = _conv_checkpoints(trainer.initial_model, 1)
+            missing = next(iter(checkpoint.buffers))
+            del checkpoint.buffers[missing]
+            evaluator = BatchedEvaluator(trainer.initial_model, trainer.pipeline)
+            with pytest.raises(ConfigurationError, match="missing buffer"):
+                evaluator.evaluate([checkpoint])
+        finally:
+            trainer.close()
+
     def test_unsupported_architectures_are_rejected(self):
+        class _GatedLinear(Module):
+            """Two parameterised children combined multiplicatively: no fused form."""
+
+            def __init__(self):
+                super().__init__()
+                self.value = Linear(8, 4, rng=RandomState(4))
+                self.gate = Linear(8, 4, rng=RandomState(5))
+
+            def forward(self, x):
+                return self.value(x) * self.gate(x)
+
         trainer = CrossbowTrainer(_config(max_epochs=1))
         try:
-            cnn = create_model("resnet32-scaled", rng=RandomState(4))
             with pytest.raises(ConfigurationError, match="EvaluatorPool"):
-                BatchedEvaluator(cnn, trainer.pipeline)
+                BatchedEvaluator(_GatedLinear(), trainer.pipeline)
         finally:
             trainer.close()
 
